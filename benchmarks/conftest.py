@@ -1,0 +1,22 @@
+"""Shared configuration for the benchmark harness.
+
+Every test regenerates one table/figure of the (reconstructed)
+evaluation and prints it; pytest-benchmark additionally records the
+harness wall-clock.  Experiments are deterministic, so a single round
+is exact — there is no noise to average away.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+    return runner

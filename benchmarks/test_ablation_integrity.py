@@ -1,0 +1,26 @@
+"""R-A2: protection modes (full vs integrity-only vs no clean-page
+optimisation)."""
+
+from repro.bench import ablation
+
+
+def test_ablation_integrity_modes(once):
+    results = once(ablation.run_integrity_modes)
+    full = results["full"]
+    mac_only = results["integrity_only"]
+    no_clean = results["no_clean_opt"]
+
+    # Dropping privacy (cipher) but keeping MACs saves a large slice
+    # of the crypto bill on crypto-heavy paths...
+    assert mac_only["seqwrite-secure"] < 0.85 * full["seqwrite-secure"]
+    assert mac_only["mb-fork"] < 0.8 * full["mb-fork"]
+
+    # ...and changes nothing for compute-bound workloads.
+    assert mac_only["matmul"] == full["matmul"]
+
+    # The clean-page optimisation earns its keep on read-mostly
+    # protected I/O (unmodified pages skip re-encryption).
+    assert no_clean["seqread-secure"] > 1.2 * full["seqread-secure"]
+    # And never hurts.
+    for name in full:
+        assert no_clean[name] >= full[name], name

@@ -1,0 +1,18 @@
+"""R-A1: lazy vs eager re-encryption."""
+
+from repro.bench import ablation
+
+
+def test_ablation_lazy_vs_eager(once):
+    results = once(ablation.run_lazy_vs_eager)
+    lazy, eager = results["lazy"], results["eager"]
+
+    # Eager is never cheaper, and is dramatically worse for workloads
+    # with resident plaintext and frequent kernel entries.
+    for name in lazy:
+        assert eager[name] >= lazy[name], name
+    assert eager["seqwrite-secure"] > 1.5 * lazy["seqwrite-secure"]
+    assert eager["mb-getpid"] > 1.2 * lazy["mb-getpid"]
+
+    # Pure context switching without plaintext residency barely cares.
+    assert eager["mb-ctxsw"] < 1.3 * lazy["mb-ctxsw"]

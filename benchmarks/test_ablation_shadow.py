@@ -1,0 +1,20 @@
+"""R-A3: multi-shadowing vs single-shadow-flush-per-switch."""
+
+from repro.bench import ablation
+
+
+def test_ablation_shadow_policy(once):
+    results = once(ablation.run_shadow_policy)
+    tagged, flush = results["tagged"], results["flush"]
+
+    # Flushing on every protection-context switch is never cheaper.
+    for name in tagged:
+        assert flush[name] >= tagged[name], name
+
+    # Syscall- and context-switch-heavy workloads show why
+    # multi-shadowing exists: every kernel entry is a view switch.
+    assert flush["mb-getpid"] > 1.25 * tagged["mb-getpid"]
+    assert flush["mb-ctxsw"] > 1.25 * tagged["mb-ctxsw"]
+
+    # Compute-bound workloads switch rarely and barely notice.
+    assert flush["matmul"] < 1.1 * tagged["matmul"]

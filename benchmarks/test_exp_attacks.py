@@ -1,0 +1,31 @@
+"""R-T4: the security-evaluation outcome matrix."""
+
+from repro.bench import exp_attacks
+
+
+def test_exp_attacks(once):
+    rows = once(exp_attacks.run)
+
+    # The headline: no attack ever extracts plaintext (or silently
+    # corrupts data) from a cloaked victim.
+    assert exp_attacks.cloaked_is_safe(rows)
+
+    # Every attack that is in the threat model succeeds against the
+    # uncloaked baseline — otherwise the probes prove nothing.
+    for name, (native, __) in rows.items():
+        if name.startswith("syscall-lie"):
+            continue  # boundary rows
+        assert native == "LEAKED", (name, native)
+
+    # Tampering and replay are *detected* (integrity), scraping is
+    # *defeated* (privacy).
+    assert rows["tamper-bitflip"][1] == "DETECTED"
+    assert rows["replay-rollback"][1] == "DETECTED"
+    assert rows["remap-swap"][1] == "DETECTED"
+    assert rows["memory-scrape"][1] == "DEFEATED"
+    assert rows["register-scrape"][1] == "DEFEATED"
+    assert rows["disk-scrape"][1] == "DEFEATED"
+
+    # The acknowledged limit stays acknowledged.
+    assert rows["syscall-lie-unprotected"][1] == "OUT-OF-SCOPE"
+    assert rows["syscall-lie-protected"][1] == "DEFEATED"

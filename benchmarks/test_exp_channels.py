@@ -1,0 +1,19 @@
+"""R-F6 (extension): sealed-IPC throughput vs message size."""
+
+from repro.bench import exp_channels
+
+
+def test_exp_channels(once):
+    series = once(exp_channels.run)
+    native = series.series("native/plain")
+    plain = series.series("cloaked/plain")
+    sealed = series.series("cloaked/sealed")
+
+    # Protection is ordered: sealing < marshalling < native throughput.
+    for n, p, s in zip(native, plain, sealed):
+        assert s < p < n
+        assert s > 0.1 * n  # but within an order of magnitude
+
+    # Larger messages amortise per-record costs in every mode.
+    assert sealed[-1] > sealed[0]
+    assert native[-1] > native[0]

@@ -1,0 +1,21 @@
+"""R-F4: fork/exec-heavy workloads."""
+
+from repro.bench import exp_forkexec
+
+
+def test_exp_forkexec(once):
+    rows = once(exp_forkexec.run)
+    by_name = {name: (native, cloaked, slowdown, crypto)
+               for name, native, cloaked, slowdown, crypto in rows}
+
+    # Fork-dominated runs show the paper's worst-case slowdowns...
+    assert by_name["forkstress x2"][2] > 1.3
+
+    # ...and a crypto-dominated cycle breakdown,
+    assert by_name["forkstress x2"][3] > 15.0
+
+    # while compute-heavy compile jobs amortise it away.
+    assert by_name["compilefarm x4"][2] < 1.5
+
+    # More jobs = more amortisation of the constant domain setup.
+    assert by_name["forkstress x8"][2] <= by_name["forkstress x2"][2]

@@ -1,0 +1,24 @@
+"""R-F5 (extension): cloaking overhead under memory pressure."""
+
+from repro.bench import exp_pressure
+
+
+def test_exp_pressure(once):
+    rows = once(exp_pressure.run)
+    by_label = {label: (native, cloaked, pct, swapins)
+                for label, native, cloaked, pct, swapins in rows}
+
+    # No pressure: the usual modest overhead.
+    assert by_label["none"][2] < 25.0
+    assert by_label["none"][3] == 0
+
+    # Overhead grows monotonically with pressure...
+    overheads = [pct for __, __, ___, pct, ____ in rows]
+    assert overheads == sorted(overheads)
+
+    # ...because every steal round-trips the crypto path.
+    assert by_label["harsh"][2] > 3 * by_label["mild"][2]
+    assert by_label["harsh"][3] > by_label["mild"][3]
+
+    # And through all of it the application stayed correct (the
+    # walker verifies every page; run() would have raised otherwise).

@@ -1,0 +1,28 @@
+"""R-T2: syscall microbenchmark latency table."""
+
+from repro.bench import exp_syscalls
+
+
+def test_exp_syscalls(once):
+    rows = once(exp_syscalls.run)
+    by_name = {name: (native, cloaked, slowdown)
+               for name, native, cloaked, slowdown in rows}
+
+    # Every cloaked syscall pays at least the CTC/world-switch tax...
+    for name, (native, cloaked, slowdown) in by_name.items():
+        if name == "mb-readsec4k":
+            continue  # the emulated path may beat the kernel path
+        assert cloaked >= native, name
+
+    # ...the null call by a modest constant factor,
+    assert 1.05 <= by_name["mb-getpid"][2] <= 3.0
+
+    # buffer-carrying calls pay marshalling on top,
+    assert by_name["mb-read4k"][2] > by_name["mb-getpid"][2]
+
+    # emulated protected reads beat the marshalled path warm,
+    assert by_name["mb-readsec4k"][1] < by_name["mb-read4k"][1]
+
+    # and fork+exec is the worst case in the table (paper's shape).
+    worst = max(by_name.values(), key=lambda row: row[2])
+    assert worst == by_name["mb-forkexec"] or worst == by_name["mb-fork"]

@@ -1,0 +1,19 @@
+"""R-T1: cloaking state-transition cost matrix."""
+
+from repro.bench import exp_transitions
+
+
+def test_exp_transitions(once):
+    results = once(exp_transitions.run)
+    # Structural expectations (the paper's state diagram):
+    assert results["app first touch (zero-fill)"] > 0
+    assert results["app write, already plaintext (no-op)"] == 0
+    # Crypto transitions dominate non-crypto ones.
+    decrypt = results["app access, encrypted (verify+decrypt)"]
+    encrypt = results["system touch, dirty plaintext (encrypt+MAC)"]
+    restore = results["system touch, clean plaintext (ciphertext restore)"]
+    assert decrypt > 5 * restore
+    assert encrypt > 5 * restore
+    # The clean-page optimisation is what makes restore cheap.
+    no_opt = results["system touch, clean plaintext w/o optimisation"]
+    assert no_opt > 5 * restore

@@ -1,0 +1,18 @@
+"""R-F3: web-server throughput vs concurrency."""
+
+from repro.bench import exp_webserver
+
+
+def test_exp_webserver(once):
+    series = once(exp_webserver.run)
+    native = series.series("native server")
+    cloaked = series.series("cloaked server")
+
+    # The cloaked server keeps a solid fraction of native throughput
+    # at every concurrency level (paper: moderate constant overhead).
+    for n, c in zip(native, cloaked):
+        assert 0.4 * n < c < n
+
+    # Throughput does not collapse with concurrency in either mode.
+    assert cloaked[-1] >= 0.8 * cloaked[0]
+    assert native[-1] >= 0.8 * native[0]

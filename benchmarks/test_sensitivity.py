@@ -1,0 +1,29 @@
+"""R-A4: do the headline conclusions survive other cost models?"""
+
+from repro.bench import sensitivity
+
+
+def test_cost_model_sensitivity(once):
+    results = once(sensitivity.run)
+
+    for scenario, values in results.items():
+        # C1: compute-bound overhead stays small in every cost regime.
+        assert values["compute overhead %"] < 20.0, scenario
+        # C2: fork stays clearly the worst case.
+        assert values["fork slowdown x"] > 1.4, scenario
+        # C3: protected-file streaming always costs more than plain —
+        # though the margin compresses toward ~1.1x when crypto is
+        # nearly free (the residual is window bookkeeping), which is
+        # itself the forward-looking insight.
+        assert values["protected-file cost x"] > 1.05, scenario
+        # C4: flushing per switch never beats multi-shadowing.
+        assert values["flush penalty x"] > 1.2, scenario
+
+    # And the model responds in the right direction: cheaper crypto
+    # shrinks the crypto-bound ratios.
+    base = results["2008 software crypto (baseline)"]
+    fast = results["hw crypto (AES-NI-like, 1/8 cost)"]
+    assert fast["fork slowdown x"] < base["fork slowdown x"]
+    assert fast["protected-file cost x"] < base["protected-file cost x"]
+    slow = results["slow crypto (4x cost)"]
+    assert slow["fork slowdown x"] > base["fork slowdown x"]

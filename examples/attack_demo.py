@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Attack demonstration: a compromised OS versus a cloaked app.
+
+Plays the full malicious-kernel suite (memory scraping, tampering,
+rollback, remapping, register scraping, disk scraping, syscall lies)
+against a victim application, first unprotected and then cloaked, and
+prints the outcome matrix — the reproduction of the paper's security
+evaluation.
+
+Run:  python examples/attack_demo.py
+"""
+
+from repro.attacks import run_suite
+from repro.bench.tables import Table
+
+
+def main() -> None:
+    print("Running the attack suite (each row = one fresh machine,")
+    print("one victim process, one malicious-kernel manoeuvre)...\n")
+
+    reports = run_suite()
+    matrix = {}
+    for report in reports:
+        matrix.setdefault(report.attack_name, {})[report.cloaked] = report
+
+    table = Table("Malicious OS vs application",
+                  ["attack", "unprotected", "cloaked"])
+    for name, by_mode in matrix.items():
+        table.add_row(
+            name,
+            by_mode[False].outcome.value,
+            by_mode[True].outcome.value,
+        )
+    table.show()
+
+    print("Reading the table:")
+    print("  LEAKED       the attacker observed or corrupted plaintext")
+    print("  DEFEATED     the attacker saw only ciphertext / scrubbed state")
+    print("  DETECTED     the VMM refused and flagged the manipulation")
+    print("  OUT-OF-SCOPE the paper's stated trust-boundary limit")
+    print()
+
+    leaks = [name for name, by_mode in matrix.items()
+             if by_mode[True].outcome.value == "LEAKED"]
+    if leaks:
+        print(f"!! cloaked leaks: {leaks}")
+    else:
+        print("No attack extracted or corrupted cloaked data.")
+
+
+if __name__ == "__main__":
+    main()

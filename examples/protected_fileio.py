@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Protected files: data at rest that the OS cannot read.
+
+A cloaked application writes a ledger under ``/secure``, exits, and a
+*second process of the same application* reopens it later: the page
+cache and disk only ever hold ciphertext, yet the application reads
+its data back transparently — and a different application mapping the
+same file gets nothing.
+
+Run:  python examples/protected_fileio.py
+"""
+
+from repro.apps.fileio import SequentialRead, SequentialWrite
+from repro.machine import Machine
+
+PATH = "/secure/ledger.bin"
+SIZE = 16 * 1024
+
+
+class LedgerTool(SequentialWrite):
+    """One binary that writes or reads the ledger (mode via argv)."""
+
+    name = "ledgertool"
+
+    def __init__(self):
+        super().__init__(PATH, 4096, SIZE)
+
+    def main(self, ctx):
+        if ctx.argv and ctx.argv[0] == "read":
+            code = yield from SequentialRead(PATH, 4096).main(ctx)
+        else:
+            code = yield from super().main(ctx)
+        return code or 0
+
+
+class NosyOtherApp(SequentialRead):
+    """A different (also cloaked) application trying to read the
+    ledger: different identity, different keys."""
+
+    name = "nosyapp"
+
+    def __init__(self):
+        super().__init__(PATH, 4096)
+
+
+def main() -> None:
+    machine = Machine.build()
+    machine.kernel.vfs.mkdir("/secure")
+    machine.register(LedgerTool, cloaked=True)
+    machine.register(NosyOtherApp, cloaked=True)
+
+    writer = machine.run_program("ledgertool", ("write",))
+    print("writer :", writer.text.strip())
+
+    # Force the data fully at rest: write back + evict the page cache.
+    inode = machine.kernel.vfs.resolve(PATH)
+    evicted = machine.kernel.fs.evict(inode)
+    print(f"evicted {evicted} pages to disk")
+    block = machine.kernel.cache.block_of(inode.inode_id, 0)
+    on_disk = machine.disk.read_block(block)
+    print(f"disk block starts: {on_disk[:24].hex()}")
+
+    reader = machine.run_program("ledgertool", ("read",))
+    print("reader :", reader.text.strip(), "(same identity: full read-back)")
+
+    nosy = machine.run_program("nosyapp")
+    print("nosyapp:", nosy.text.strip(),
+          "(different identity: sees only zeros)")
+
+
+if __name__ == "__main__":
+    main()

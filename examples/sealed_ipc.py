@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Sealed IPC: two cloaked processes talk; the kernel carries only
+ciphertext.
+
+A cloaked parent forks a child and streams secrets to it through a
+FIFO under ``/secure``.  The shim seals every message through the VMM
+before the kernel's pipe buffer sees it — this demo wiretaps the pipe
+layer (as a compromised kernel would) and shows the plaintext never
+appears, then has the "kernel" tamper with a record and shows the
+receiver refusing it.
+
+Run:  python examples/sealed_ipc.py
+"""
+
+from repro.apps.program import Program
+from repro.guestos import uapi
+from repro.guestos.pipes import Pipe
+from repro.machine import Machine
+
+SECRETS = [b"wire-transfer:ACCT-9921:$1,250,000",
+           b"api-key:sk-live-9f8e7d6c5b4a",
+           b"diagnosis:patient-4471:positive"]
+FIFO = "/secure/feed"
+
+
+class Feed(Program):
+    name = "feed"
+
+    def child(self, ctx, path_vaddr, path_len):
+        fd = yield ctx.open(path_vaddr, path_len, uapi.O_RDONLY)
+        buf = ctx.scratch(256)
+        count_ok = 0
+        for expected in SECRETS:
+            got = b""
+            while len(got) < len(expected):
+                n = yield ctx.read(fd, buf, len(expected) - len(got))
+                if not isinstance(n, int) or n <= 0:
+                    break
+                got += (yield ctx.load(buf, n))
+            if got == expected:
+                count_ok += 1
+        yield ctx.close(fd)
+        yield from ctx.print(f"received {count_ok}/{len(SECRETS)} intact\n")
+        return 0
+
+    def main(self, ctx):
+        path_vaddr, path_len = yield from ctx.put_string(FIFO)
+        yield ctx.mkfifo(path_vaddr, path_len)
+        pid = yield ctx.fork(self.child, path_vaddr, path_len)
+        fd = yield ctx.open(path_vaddr, path_len, uapi.O_WRONLY)
+        buf = ctx.scratch(256)
+        for secret in SECRETS:
+            yield ctx.store(buf, secret)
+            yield ctx.write(fd, buf, len(secret))
+        yield ctx.close(fd)
+        yield ctx.waitpid(pid)
+        return 0
+
+
+def run_with_wiretap(tamper: bool):
+    machine = Machine.build()
+    machine.kernel.vfs.mkdir("/secure")
+    machine.register(Feed, cloaked=True)
+    parent = machine.spawn("feed")
+
+    wiretap = []
+    state = {"tampered": False}
+    original_write = Pipe.write
+
+    def hostile_write(pipe_self, data):
+        result = original_write(pipe_self, data)
+        wiretap.append(bytes(data))
+        if tamper and not state["tampered"] and len(pipe_self) > 12:
+            pipe_self._buffer[10] ^= 0xFF  # flip a bit inside a record
+            state["tampered"] = True
+        return result
+
+    Pipe.write = hostile_write
+    try:
+        machine.run()
+    finally:
+        Pipe.write = original_write
+    return machine, parent, b"".join(wiretap)
+
+
+def main() -> None:
+    print("--- passive wiretap (kernel records all pipe traffic) ---")
+    machine, parent, captured = run_with_wiretap(tamper=False)
+    child_out = machine.kernel.console.text_of(parent.pid + 1).strip()
+    print(f"child reports : {child_out}")
+    print(f"bytes captured: {len(captured)}")
+    leaked = [s for s in SECRETS if s in captured]
+    print(f"secrets in capture: {len(leaked)} of {len(SECRETS)}")
+
+    print()
+    print("--- active tampering (kernel flips one bit in a record) ---")
+    machine, parent, __ = run_with_wiretap(tamper=True)
+    print(f"violations    : {machine.violations}")
+    print(f"child reports : "
+          f"{machine.kernel.console.text_of(parent.pid + 1).strip() or '(killed before reporting)'}")
+    print()
+    print("The kernel moved every byte of the conversation and could")
+    print("neither read nor alter it undetected.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment has no ``wheel`` package, so PEP 660 editable
+installs (which build a wheel) fail.  This file lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` use the
+classic setuptools develop mode instead.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""Overshadow reproduction: VMM-based memory cloaking on a simulated
+machine.
+
+Reproduces "Overshadow: a virtualization-based approach to
+retrofitting protection in commodity operating systems" (ASPLOS 2008):
+multi-shadowing, memory cloaking, cloaked thread contexts, the
+in-process shim with marshalled syscalls and memory-mapped file-I/O
+emulation — all running over a from-scratch simulated machine and an
+untrusted guest OS.
+
+Quick start::
+
+    from repro import Machine, Program
+
+    class App(Program):
+        name = "app"
+        def main(self, ctx):
+            addr = ctx.scratch(64)
+            yield ctx.store(addr, b"secret")
+            yield from ctx.print("done\\n")
+            return 0
+
+    machine = Machine.build()
+    machine.register(App, cloaked=True)
+    result = machine.run_program("app")
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+reproduced evaluation.
+"""
+
+from repro.apps.program import NativeRuntime, Program, UserContext
+from repro.core import (
+    CloakConfig,
+    FreshnessViolation,
+    IdentityViolation,
+    IntegrityViolation,
+    OvershadowError,
+    VMMConfig,
+)
+from repro.core.multishadow import POLICY_FLUSH, POLICY_TAGGED
+from repro.core.shim import ShimRuntime
+from repro.hw.params import CostTable, MachineParams, PAGE_SIZE
+from repro.machine import Machine, MachineDeadlock, ProcessResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CloakConfig",
+    "CostTable",
+    "FreshnessViolation",
+    "IdentityViolation",
+    "IntegrityViolation",
+    "Machine",
+    "MachineDeadlock",
+    "MachineParams",
+    "NativeRuntime",
+    "OvershadowError",
+    "PAGE_SIZE",
+    "POLICY_FLUSH",
+    "POLICY_TAGGED",
+    "ProcessResult",
+    "Program",
+    "ShimRuntime",
+    "UserContext",
+    "VMMConfig",
+    "__version__",
+]

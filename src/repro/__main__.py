@@ -1,0 +1,89 @@
+"""Command-line entry point: regenerate the evaluation.
+
+Usage::
+
+    python -m repro                # run every experiment, print tables
+    python -m repro r-f1 r-t2     # run selected experiments
+    python -m repro --list        # show available experiments
+"""
+
+import sys
+from typing import Callable, Dict
+
+
+def _experiments() -> Dict[str, Callable]:
+    from repro.bench import (
+        ablation,
+        sensitivity,
+        exp_attacks,
+        exp_channels,
+        exp_compute,
+        exp_fileio,
+        exp_forkexec,
+        exp_overhead,
+        exp_pressure,
+        exp_syscalls,
+        exp_transitions,
+        exp_webserver,
+    )
+
+    return {
+        "r-t1": exp_transitions.run,
+        "r-t2": exp_syscalls.run,
+        "r-t3": exp_overhead.run,
+        "r-t4": exp_attacks.run,
+        "r-f1": exp_compute.run,
+        "r-f2": exp_fileio.run,
+        "r-f3": exp_webserver.run,
+        "r-f4": exp_forkexec.run,
+        "r-f5": exp_pressure.run,
+        "r-f6": exp_channels.run,
+        "r-a1": ablation.run_lazy_vs_eager,
+        "r-a2": ablation.run_integrity_modes,
+        "r-a3": ablation.run_shadow_policy,
+        "r-a4": sensitivity.run,
+    }
+
+
+DESCRIPTIONS = {
+    "r-t1": "cloaking state-transition cost matrix",
+    "r-t2": "syscall microbenchmarks (native vs cloaked)",
+    "r-t3": "VMM resource overhead + event counts",
+    "r-t4": "security evaluation (attack outcome matrix)",
+    "r-f1": "compute workloads, normalized runtime",
+    "r-f2": "file-I/O bandwidth vs buffer size",
+    "r-f3": "web-server throughput vs concurrency",
+    "r-f4": "fork/exec-heavy workloads",
+    "r-f5": "overhead vs memory pressure (extension)",
+    "r-f6": "sealed-IPC throughput vs message size (extension)",
+    "r-a1": "ablation: lazy vs eager re-encryption",
+    "r-a2": "ablation: protection modes",
+    "r-a3": "ablation: multi-shadowing vs flush",
+    "r-a4": "cost-model sensitivity analysis",
+}
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    experiments = _experiments()
+
+    if "--list" in args or "-l" in args:
+        for key in experiments:
+            print(f"{key:6s} {DESCRIPTIONS[key]}")
+        return 0
+
+    selected = [a.lower() for a in args if not a.startswith("-")]
+    unknown = [key for key in selected if key not in experiments]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(experiments)}", file=sys.stderr)
+        return 2
+
+    for key in selected or experiments:
+        print(f"\n### {key.upper()}: {DESCRIPTIONS[key]}")
+        experiments[key](verbose=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

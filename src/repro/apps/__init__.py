@@ -1,0 +1,15 @@
+"""Guest applications: the program model plus the workload programs
+used by the examples, tests, and benchmarks."""
+
+from repro.apps.program import BaseRuntime, NativeRuntime, Program, UserContext
+from repro.apps.registry import ALL_PROGRAMS, make_secure_dirs, register_all
+
+__all__ = [
+    "ALL_PROGRAMS",
+    "BaseRuntime",
+    "NativeRuntime",
+    "Program",
+    "UserContext",
+    "make_secure_dirs",
+    "register_all",
+]

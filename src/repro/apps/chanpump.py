@@ -1,0 +1,68 @@
+"""FIFO pump: the sealed-IPC throughput workload (R-F6).
+
+A parent streams a payload to its forked child through a FIFO in
+fixed-size messages; the child checksums what it receives.  Pointing
+the FIFO under ``/secure`` turns every message into a sealed record
+(cloaked runs only), so the sweep isolates the sealing cost.
+"""
+
+import hashlib
+
+from repro.apps.program import Program, UserContext
+from repro.guestos import uapi
+
+
+class ChannelPump(Program):
+    """argv: (fifo_path, message_size, total_bytes)"""
+
+    name = "chanpump"
+
+    def _payload(self, total: int) -> bytes:
+        return (hashlib.sha256(b"chanpump").digest() * (total // 32 + 1))[:total]
+
+    def child(self, ctx: UserContext, path_vaddr, path_len, message_size,
+              total):
+        fd = yield ctx.open(path_vaddr, path_len, uapi.O_RDONLY)
+        buf = ctx.scratch(message_size)
+        digest = hashlib.sha256()
+        received = 0
+        while received < total:
+            count = yield ctx.read(fd, buf, message_size)
+            if not isinstance(count, int) or count <= 0:
+                break
+            data = yield ctx.load(buf, count)
+            digest.update(data)
+            received += count
+        yield ctx.close(fd)
+        yield from ctx.print(
+            f"recv {received} {digest.hexdigest()[:12]}\n"
+        )
+        expected = hashlib.sha256(self._payload(total)).hexdigest()[:12]
+        return 0 if digest.hexdigest()[:12] == expected and received == total \
+            else 1
+
+    def main(self, ctx: UserContext):
+        path = ctx.argv[0]
+        message_size = int(ctx.argv[1])
+        total = int(ctx.argv[2])
+
+        path_vaddr, path_len = yield from ctx.put_string(path)
+        yield ctx.mkfifo(path_vaddr, path_len)
+        pid = yield ctx.fork(self.child, path_vaddr, path_len, message_size,
+                             total)
+
+        fd = yield ctx.open(path_vaddr, path_len, uapi.O_WRONLY)
+        payload = self._payload(total)
+        buf = ctx.scratch(message_size)
+        sent = 0
+        while sent < total:
+            chunk = payload[sent : sent + message_size]
+            yield ctx.store(buf, chunk)
+            written = yield ctx.write(fd, buf, len(chunk))
+            if not isinstance(written, int) or written <= 0:
+                break
+            sent += written
+        yield ctx.close(fd)
+        result = yield ctx.waitpid(pid)
+        yield from ctx.print(f"pumped {sent} child={result[1]}\n")
+        return result[1]

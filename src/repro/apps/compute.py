@@ -1,0 +1,429 @@
+"""SPEC-like compute kernels (the R-F1 workload suite).
+
+Each kernel does real work against simulated memory — inputs are
+stored through the MMU, loaded back, transformed, and a checksum is
+printed — so a cloaked run must produce byte-identical output to a
+native run (transparency), while the virtual-cycle ledger captures the
+overhead.  Sizes are chosen so each kernel runs a few million virtual
+cycles, long enough to cross many timeslices.
+
+The mix mirrors a SPECint-style suite: dense arithmetic (``matmul``,
+``stencil``), sorting (``qsortk``), compression (``rle``), hashing
+(``shaloop``), pointer chasing over a graph (``bfsgraph``), and byte
+bashing (``histogram``, ``strsearch``).
+"""
+
+import hashlib
+import random
+from typing import List
+
+from repro.apps.program import Program, UserContext
+
+#: Memory is touched in lines of this many bytes: coarse enough to
+#: keep the simulation fast, fine enough to exercise paging.
+CHUNK = 512
+
+
+def _prng(seed: str) -> random.Random:
+    """Deterministic per-kernel PRNG (no global seeding)."""
+    return random.Random(int.from_bytes(hashlib.sha256(seed.encode()).digest()[:8],
+                                        "little"))
+
+
+def _checksum(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()[:16]
+
+
+class ComputeKernel(Program):
+    """Base: init input in memory -> transform -> store -> checksum."""
+
+    #: Nominal problem scale; subclasses interpret it.
+    default_size = 64
+
+    def __init__(self, size: int = 0):
+        self.size = size or self.default_size
+
+    def generate_input(self) -> bytes:
+        raise NotImplementedError
+
+    def transform(self, data: bytes) -> (bytes, int):
+        """Pure computation: returns (output, alu_units_charged)."""
+        raise NotImplementedError
+
+    def main(self, ctx: UserContext):
+        payload = self.generate_input()
+        src = ctx.scratch(len(payload))
+        dst = ctx.scratch(len(payload) * 2)
+
+        # Materialise the input through the MMU, chunk by chunk.
+        for offset in range(0, len(payload), CHUNK):
+            yield ctx.store(src + offset, payload[offset : offset + CHUNK])
+
+        # Load, compute, store: the transform's cost lands on the ALU;
+        # its traffic lands on the memory system.
+        loaded: List[bytes] = []
+        for offset in range(0, len(payload), CHUNK):
+            loaded.append((yield ctx.load(src + offset,
+                                          min(CHUNK, len(payload) - offset))))
+        data = b"".join(loaded)
+        output, alu_units = self.transform(data)
+        yield ctx.alu(alu_units)
+        for offset in range(0, len(output), CHUNK):
+            yield ctx.store(dst + offset, output[offset : offset + CHUNK])
+
+        # Read the result back and attest it.
+        reread: List[bytes] = []
+        for offset in range(0, len(output), CHUNK):
+            reread.append((yield ctx.load(dst + offset,
+                                          min(CHUNK, len(output) - offset))))
+        yield from ctx.print(f"{self.name}: {_checksum(b''.join(reread))}\n")
+        return 0
+
+
+class MatMul(ComputeKernel):
+    """Dense integer matrix multiply (blocked arithmetic)."""
+
+    name = "matmul"
+    default_size = 56  # k x k matrices
+
+    def generate_input(self) -> bytes:
+        rng = _prng(f"matmul-{self.size}")
+        cells = 2 * self.size * self.size
+        return bytes(rng.randrange(256) for __ in range(cells))
+
+    def transform(self, data: bytes):
+        k = self.size
+        a = [list(data[i * k : (i + 1) * k]) for i in range(k)]
+        b = [list(data[(k + i) * k : (k + i + 1) * k]) for i in range(k)]
+        out = bytearray()
+        for i in range(k):
+            for j in range(k):
+                acc = 0
+                row = a[i]
+                for t in range(k):
+                    acc += row[t] * b[t][j]
+                out.append(acc & 0xFF)
+        return bytes(out), 2 * k * k * k  # one mul + one add per step
+
+
+class QSortK(ComputeKernel):
+    """Sort a large array (comparison-heavy)."""
+
+    name = "qsortk"
+    default_size = 16384  # elements
+
+    def generate_input(self) -> bytes:
+        rng = _prng(f"qsortk-{self.size}")
+        return bytes(rng.randrange(256) for __ in range(self.size))
+
+    def transform(self, data: bytes):
+        n = len(data)
+        cost = int(6 * n * max(1, n.bit_length()))
+        return bytes(sorted(data)), cost
+
+
+class RLECompress(ComputeKernel):
+    """Run-length encoding (branchy byte scanning)."""
+
+    name = "rle"
+    default_size = 98304
+
+    def generate_input(self) -> bytes:
+        rng = _prng(f"rle-{self.size}")
+        out = bytearray()
+        while len(out) < self.size:
+            out.extend(bytes([rng.randrange(32)]) * rng.randrange(1, 24))
+        return bytes(out[: self.size])
+
+    def transform(self, data: bytes):
+        out = bytearray()
+        i = 0
+        while i < len(data):
+            j = i
+            while j < len(data) and data[j] == data[i] and j - i < 255:
+                j += 1
+            out.append(j - i)
+            out.append(data[i])
+            i = j
+        return bytes(out), 7 * len(data)
+
+
+class ShaLoop(ComputeKernel):
+    """Iterated hashing (ALU-bound, tiny working set)."""
+
+    name = "shaloop"
+    default_size = 1500  # iterations
+
+    def generate_input(self) -> bytes:
+        return hashlib.sha256(f"shaloop-{self.size}".encode()).digest()
+
+    def transform(self, data: bytes):
+        digest = data
+        for __ in range(self.size):
+            digest = hashlib.sha256(digest).digest()
+        # ~18 cycles/byte is a plausible software SHA-256 rate.
+        return digest, 18 * 64 * self.size
+
+
+class BFSGraph(ComputeKernel):
+    """Breadth-first search over a random graph (pointer chasing)."""
+
+    name = "bfsgraph"
+    default_size = 12000  # nodes
+
+    def generate_input(self) -> bytes:
+        rng = _prng(f"bfs-{self.size}")
+        n = self.size
+        edges = bytearray()
+        for node in range(n):
+            for __ in range(4):
+                edges += rng.randrange(n).to_bytes(4, "little")
+        return bytes(edges)
+
+    def transform(self, data: bytes):
+        n = self.size
+        adj = [
+            [int.from_bytes(data[(node * 4 + e) * 4 : (node * 4 + e) * 4 + 4],
+                            "little") for e in range(4)]
+            for node in range(n)
+        ]
+        depth = [-1] * n
+        depth[0] = 0
+        frontier = [0]
+        visited = 1
+        while frontier:
+            nxt = []
+            for node in frontier:
+                for peer in adj[node]:
+                    if depth[peer] < 0:
+                        depth[peer] = depth[node] + 1
+                        nxt.append(peer)
+                        visited += 1
+            frontier = nxt
+        out = bytes((d + 1) & 0xFF for d in depth)
+        return out, 14 * visited + 3 * 4 * n
+
+
+class Stencil(ComputeKernel):
+    """3-point stencil sweeps over an array (streaming arithmetic)."""
+
+    name = "stencil"
+    default_size = 32768
+    iterations = 10
+
+    def generate_input(self) -> bytes:
+        rng = _prng(f"stencil-{self.size}")
+        return bytes(rng.randrange(256) for __ in range(self.size))
+
+    def transform(self, data: bytes):
+        cells = list(data)
+        for __ in range(self.iterations):
+            prev = cells[:]
+            for i in range(1, len(cells) - 1):
+                cells[i] = (prev[i - 1] + 2 * prev[i] + prev[i + 1]) // 4
+        return bytes(cells), 4 * self.size * self.iterations
+
+
+class Histogram(ComputeKernel):
+    """Byte-frequency histogram (read-dominated)."""
+
+    name = "histogram"
+    default_size = 262144
+
+    def generate_input(self) -> bytes:
+        rng = _prng(f"hist-{self.size}")
+        return bytes(rng.randrange(256) for __ in range(self.size))
+
+    def transform(self, data: bytes):
+        counts = [0] * 256
+        for byte in data:
+            counts[byte] += 1
+        out = b"".join((c & 0xFFFFFFFF).to_bytes(4, "little") for c in counts)
+        return out, 5 * len(data)
+
+
+class StrSearch(ComputeKernel):
+    """Substring scanning (comparison-heavy text processing)."""
+
+    name = "strsearch"
+    default_size = 196608
+
+    NEEDLES = (b"overshadow", b"cloak", b"shadow", b"vmm")
+
+    def generate_input(self) -> bytes:
+        rng = _prng(f"str-{self.size}")
+        words = [b"lorem", b"ipsum", b"cloak", b"dolor", b"shadow", b"sit",
+                 b"vmm", b"amet", b"overshadow"]
+        out = bytearray()
+        while len(out) < self.size:
+            out += rng.choice(words) + b" "
+        return bytes(out[: self.size])
+
+    def transform(self, data: bytes):
+        counts = [data.count(needle) for needle in self.NEEDLES]
+        out = b"".join(c.to_bytes(4, "little") for c in counts)
+        return out, 3 * len(data) * len(self.NEEDLES)
+
+
+
+
+class CRCSweep(ComputeKernel):
+    """Table-driven CRC32 over a buffer (lookup-heavy checksumming)."""
+
+    name = "crcsweep"
+    default_size = 131072
+
+    _TABLE = None
+
+    @classmethod
+    def _table(cls):
+        if cls._TABLE is None:
+            table = []
+            for byte in range(256):
+                crc = byte
+                for __ in range(8):
+                    crc = (crc >> 1) ^ (0xEDB88320 if crc & 1 else 0)
+                table.append(crc)
+            cls._TABLE = table
+        return cls._TABLE
+
+    def generate_input(self) -> bytes:
+        rng = _prng(f"crc-{self.size}")
+        return bytes(rng.randrange(256) for __ in range(self.size))
+
+    def transform(self, data: bytes):
+        table = self._table()
+        crc = 0xFFFFFFFF
+        out = bytearray()
+        for offset in range(0, len(data), 4096):
+            for byte in data[offset : offset + 4096]:
+                crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF]
+            out += (crc & 0xFFFFFFFF).to_bytes(4, "little")
+        # ~3 ops per byte: shift, xor, table lookup.
+        return bytes(out), 3 * len(data)
+
+
+class LZWindow(ComputeKernel):
+    """Greedy LZ77-style window compression (string matching)."""
+
+    name = "lzwindow"
+    default_size = 32768
+    WINDOW = 256
+    MIN_MATCH = 4
+
+    def generate_input(self) -> bytes:
+        rng = _prng(f"lz-{self.size}")
+        phrases = [bytes(rng.randrange(97, 123) for __ in range(8))
+                   for __ in range(16)]
+        out = bytearray()
+        while len(out) < self.size:
+            out += rng.choice(phrases)
+        return bytes(out[: self.size])
+
+    def transform(self, data: bytes):
+        out = bytearray()
+        i = 0
+        comparisons = 0
+        while i < len(data):
+            best_len = 0
+            best_dist = 0
+            window_start = max(0, i - self.WINDOW)
+            j = window_start
+            while j < i:
+                length = 0
+                while (i + length < len(data) and length < 255
+                       and data[j + length] == data[i + length]
+                       and j + length < i):
+                    length += 1
+                comparisons += length + 1
+                if length > best_len:
+                    best_len = length
+                    best_dist = i - j
+                j += 1
+            if best_len >= self.MIN_MATCH:
+                out += b"\x01" + best_dist.to_bytes(2, "little") \
+                    + bytes([best_len])
+                i += best_len
+            else:
+                out += b"\x00" + data[i : i + 1]
+                i += 1
+        return bytes(out), 2 * comparisons
+
+
+class KMeans(ComputeKernel):
+    """1-D k-means clustering (iterative numeric kernel)."""
+
+    name = "kmeans"
+    default_size = 12000
+    K = 8
+    ITERATIONS = 12
+
+    def generate_input(self) -> bytes:
+        rng = _prng(f"kmeans-{self.size}")
+        return bytes(rng.randrange(256) for __ in range(self.size))
+
+    def transform(self, data: bytes):
+        centroids = [int((c + 0.5) * 256 / self.K) for c in range(self.K)]
+        work = 0
+        for __ in range(self.ITERATIONS):
+            sums = [0] * self.K
+            counts = [0] * self.K
+            for value in data:
+                best = min(range(self.K),
+                           key=lambda c: abs(value - centroids[c]))
+                sums[best] += value
+                counts[best] += 1
+            work += len(data) * self.K
+            centroids = [
+                sums[c] // counts[c] if counts[c] else centroids[c]
+                for c in range(self.K)
+            ]
+        out = bytes(centroids)
+        # distance + compare per (point, centroid), twice over.
+        return out, 2 * work
+
+
+class RecordParse(ComputeKernel):
+    """Parse key=value;... records and aggregate (text processing)."""
+
+    name = "recordparse"
+    default_size = 49152
+
+    FIELDS = (b"id", b"qty", b"price", b"tag")
+
+    def generate_input(self) -> bytes:
+        rng = _prng(f"rec-{self.size}")
+        out = bytearray()
+        counter = 0
+        while len(out) < self.size:
+            counter += 1
+            out += b"id=%d;qty=%d;price=%d;tag=t%d\n" % (
+                counter, rng.randrange(1, 9), rng.randrange(100, 999),
+                rng.randrange(4),
+            )
+        return bytes(out[: self.size])
+
+    def transform(self, data: bytes):
+        total_qty = 0
+        revenue = 0
+        records = 0
+        for line in data.splitlines():
+            fields = {}
+            for pair in line.split(b";"):
+                key, _, value = pair.partition(b"=")
+                fields[key] = value
+            try:
+                total_qty += int(fields.get(b"qty", b"0"))
+                revenue += (int(fields.get(b"qty", b"0"))
+                            * int(fields.get(b"price", b"0")))
+                records += 1
+            except ValueError:
+                continue  # the tail record may be truncated
+        out = b"%d,%d,%d" % (records, total_qty, revenue)
+        return out, 12 * len(data)  # parsing is ~instruction-per-char x12
+
+
+#: The R-F1 suite, in presentation order.
+COMPUTE_SUITE = (MatMul, QSortK, RLECompress, ShaLoop, BFSGraph, Stencil,
+                 Histogram, StrSearch, CRCSweep, LZWindow, KMeans,
+                 RecordParse)

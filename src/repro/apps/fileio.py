@@ -1,0 +1,140 @@
+"""File-I/O workloads (R-F2): sequential/random read and write.
+
+Parameterised by buffer size so the harness can sweep it; paths under
+``/secure`` exercise the shim's memory-mapped emulation, everything
+else the marshalled kernel path.
+"""
+
+import hashlib
+
+from repro.apps.program import Program, UserContext
+from repro.guestos import uapi
+
+
+class SequentialWrite(Program):
+    """Write ``total_bytes`` in ``buffer_size`` chunks, then sync."""
+
+    name = "seqwrite"
+
+    def __init__(self, path: str = "/data.bin", buffer_size: int = 4096,
+                 total_bytes: int = 256 * 1024):
+        self.path = path
+        self.buffer_size = buffer_size
+        self.total_bytes = total_bytes
+
+    def main(self, ctx: UserContext):
+        fd = yield from ctx.open_path(self.path,
+                                      uapi.O_CREAT | uapi.O_RDWR | uapi.O_TRUNC)
+        if fd < 0:
+            yield from ctx.print(f"open failed: {fd}\n")
+            return 1
+        buf = ctx.scratch(self.buffer_size)
+        pattern = (hashlib.sha256(self.path.encode()).digest()
+                   * (self.buffer_size // 32 + 1))[: self.buffer_size]
+        yield ctx.store(buf, pattern)
+        written = 0
+        while written < self.total_bytes:
+            chunk = min(self.buffer_size, self.total_bytes - written)
+            count = yield ctx.write(fd, buf, chunk)
+            if not isinstance(count, int) or count <= 0:
+                yield from ctx.print(f"write failed: {count}\n")
+                return 1
+            written += count
+        yield ctx.close(fd)
+        yield from ctx.print(f"wrote {written}\n")
+        return 0
+
+
+class SequentialRead(Program):
+    """Read a file front to back in ``buffer_size`` chunks; checksum."""
+
+    name = "seqread"
+
+    def __init__(self, path: str = "/data.bin", buffer_size: int = 4096):
+        self.path = path
+        self.buffer_size = buffer_size
+
+    def main(self, ctx: UserContext):
+        fd = yield from ctx.open_path(self.path, uapi.O_RDONLY)
+        if fd < 0:
+            yield from ctx.print(f"open failed: {fd}\n")
+            return 1
+        buf = ctx.scratch(self.buffer_size)
+        digest = hashlib.sha256()
+        total = 0
+        while True:
+            count = yield ctx.read(fd, buf, self.buffer_size)
+            if not isinstance(count, int) or count <= 0:
+                break
+            data = yield ctx.load(buf, count)
+            digest.update(data)
+            total += count
+        yield ctx.close(fd)
+        yield from ctx.print(f"read {total} {digest.hexdigest()[:16]}\n")
+        return 0
+
+
+class FileStreamer(Program):
+    """dd-style tool: one binary, write or read mode via argv.
+
+    argv: (mode, path, buffer_size, total_bytes)
+
+    Being a single program (hence a single identity) matters for
+    protected files: only the identity that wrote a cloaked file can
+    read it back.  A different program reading the same path gets
+    zero-filled pages — the benchmark suites therefore stream with
+    this one binary, like real tools do.
+    """
+
+    name = "filestreamer"
+
+    def main(self, ctx: UserContext):
+        mode = ctx.argv[0]
+        path = ctx.argv[1]
+        buffer_size = int(ctx.argv[2])
+        total_bytes = int(ctx.argv[3])
+
+        if mode == "write":
+            worker = SequentialWrite(path, buffer_size, total_bytes)
+        elif mode == "read":
+            worker = SequentialRead(path, buffer_size)
+        else:
+            yield from ctx.print(f"bad mode {mode}\n")
+            return 1
+        code = yield from worker.main(ctx)
+        return code or 0
+
+
+class ReadWriteMix(Program):
+    """Alternate writes and read-backs at seeked offsets (random-ish
+    access without needing runtime randomness)."""
+
+    name = "rwmix"
+
+    def __init__(self, path: str = "/mix.bin", buffer_size: int = 4096,
+                 operations: int = 32):
+        self.path = path
+        self.buffer_size = buffer_size
+        self.operations = operations
+
+    def main(self, ctx: UserContext):
+        fd = yield from ctx.open_path(self.path,
+                                      uapi.O_CREAT | uapi.O_RDWR | uapi.O_TRUNC)
+        if fd < 0:
+            return 1
+        buf = ctx.scratch(self.buffer_size)
+        yield ctx.store(buf, b"\x3c" * self.buffer_size)
+        # Stride pattern: hits offsets in a shuffled-but-deterministic
+        # order within a file of operations/2 buffers.
+        slots = max(1, self.operations // 2)
+        for i in range(self.operations):
+            slot = (i * 7 + 3) % slots
+            offset = slot * self.buffer_size
+            yield ctx.lseek(fd, offset, uapi.SEEK_SET)
+            if i % 2 == 0:
+                yield ctx.write(fd, buf, self.buffer_size)
+            else:
+                yield ctx.read(fd, buf, self.buffer_size)
+        yield ctx.close(fd)
+        yield from ctx.print("mix done\n")
+        return 0

@@ -1,0 +1,41 @@
+"""Working-set walker: the memory-pressure workload (R-F5).
+
+Touches a working set of N pages repeatedly with compute in between,
+so a reclaiming kernel keeps stealing pages the application is about
+to need again.  Natively each steal costs a swap-out + a refault +
+swap-in; cloaked it additionally costs an encrypt on the way out and a
+verify+decrypt on the way back — the experiment sweeps reclaim
+pressure to expose that multiplier.
+"""
+
+from repro.apps.program import Program, UserContext
+from repro.hw.params import PAGE_SIZE
+
+
+class WorkingSetWalker(Program):
+    """argv: (pages, rounds, alu_per_touch)"""
+
+    name = "memwalk"
+
+    def main(self, ctx: UserContext):
+        pages = int(ctx.argv[0]) if len(ctx.argv) > 0 else 16
+        rounds = int(ctx.argv[1]) if len(ctx.argv) > 1 else 8
+        alu_per_touch = int(ctx.argv[2]) if len(ctx.argv) > 2 else 2000
+
+        base = ctx.scratch(pages * PAGE_SIZE)
+        # Materialise the working set with a recognisable per-page tag.
+        for page in range(pages):
+            yield ctx.store(base + page * PAGE_SIZE, b"P%06d" % page)
+
+        corrupted = 0
+        for __ in range(rounds):
+            for page in range(pages):
+                data = yield ctx.load(base + page * PAGE_SIZE, 7)
+                if data != b"P%06d" % page:
+                    corrupted += 1
+                yield ctx.alu(alu_per_touch)
+        if corrupted:
+            yield from ctx.print(f"CORRUPTED {corrupted}\n")
+            return 1
+        yield from ctx.print(f"walked {pages}p x {rounds}r\n")
+        return 0

@@ -1,0 +1,356 @@
+"""Syscall microbenchmark programs (R-T2, lmbench-style).
+
+Each program runs one kernel operation in a tight loop; the harness
+measures whole-program virtual cycles and divides by the iteration
+count (subtracting a calibrated empty-loop baseline).  Iteration
+counts are small because virtual time is deterministic — there is no
+measurement noise to average away.
+"""
+
+from repro.apps.program import Program, UserContext
+from repro.guestos import uapi
+from repro.hw.params import PAGE_SIZE
+
+
+class MicroBenchmark(Program):
+    """Base: N iterations of one operation."""
+
+    default_iterations = 50
+
+    def __init__(self, iterations: int = 0):
+        self.iterations = iterations or self.default_iterations
+
+    def setup(self, ctx: UserContext):
+        return
+        yield  # pragma: no cover
+
+    def one(self, ctx: UserContext):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def resolve_iterations(self, ctx: UserContext) -> int:
+        if ctx.argv:
+            return int(ctx.argv[0])
+        return self.iterations
+
+    def main(self, ctx: UserContext):
+        count = self.resolve_iterations(ctx)
+        yield from self.setup(ctx)
+        for __ in range(count):
+            yield from self.one(ctx)
+        yield from ctx.print("done\n")
+        return 0
+
+
+class EmptyLoop(MicroBenchmark):
+    """Baseline: loop overhead only (subtracted by the harness)."""
+
+    name = "mb-empty"
+
+    def one(self, ctx):
+        yield ctx.alu(1)
+
+
+class NullCall(MicroBenchmark):
+    """getpid(2): the paper's null-syscall latency probe."""
+
+    name = "mb-getpid"
+
+    def one(self, ctx):
+        yield ctx.getpid()
+
+
+class Read4K(MicroBenchmark):
+    """read(2) of one page from an unprotected file."""
+
+    name = "mb-read4k"
+
+    def setup(self, ctx):
+        fd = yield from ctx.open_path("/mb.dat", uapi.O_CREAT | uapi.O_RDWR)
+        self.fd = fd
+        yield from ctx.write_bytes(fd, b"\x5a" * PAGE_SIZE)
+        self.buf = ctx.scratch(PAGE_SIZE)
+
+    def one(self, ctx):
+        yield ctx.lseek(self.fd, 0, uapi.SEEK_SET)
+        yield ctx.read(self.fd, self.buf, PAGE_SIZE)
+
+
+class Write4K(MicroBenchmark):
+    """write(2) of one page to an unprotected file."""
+
+    name = "mb-write4k"
+
+    def setup(self, ctx):
+        self.fd = yield from ctx.open_path("/mb.dat", uapi.O_CREAT | uapi.O_RDWR)
+        self.buf = ctx.scratch(PAGE_SIZE)
+        yield ctx.store(self.buf, b"\xa5" * PAGE_SIZE)
+
+    def one(self, ctx):
+        yield ctx.lseek(self.fd, 0, uapi.SEEK_SET)
+        yield ctx.write(self.fd, self.buf, PAGE_SIZE)
+
+
+class ReadCloaked4K(MicroBenchmark):
+    """read(2) of one page from a *protected* file (ioemu path)."""
+
+    name = "mb-readsec4k"
+
+    def setup(self, ctx):
+        fd = yield from ctx.open_path("/secure/mb.dat",
+                                      uapi.O_CREAT | uapi.O_RDWR)
+        self.fd = fd
+        yield from ctx.write_bytes(fd, b"\x5a" * PAGE_SIZE)
+        self.buf = ctx.scratch(PAGE_SIZE)
+
+    def one(self, ctx):
+        yield ctx.lseek(self.fd, 0, uapi.SEEK_SET)
+        yield ctx.read(self.fd, self.buf, PAGE_SIZE)
+
+
+class OpenClose(MicroBenchmark):
+    name = "mb-openclose"
+
+    def setup(self, ctx):
+        fd = yield from ctx.open_path("/mb.dat", uapi.O_CREAT | uapi.O_RDWR)
+        yield ctx.close(fd)
+        self.path = yield from ctx.put_string("/mb.dat")
+
+    def one(self, ctx):
+        vaddr, length = self.path
+        fd = yield ctx.open(vaddr, length, uapi.O_RDONLY)
+        yield ctx.close(fd)
+
+
+class StatCall(MicroBenchmark):
+    name = "mb-stat"
+
+    def setup(self, ctx):
+        fd = yield from ctx.open_path("/mb.dat", uapi.O_CREAT | uapi.O_RDWR)
+        yield ctx.close(fd)
+        self.path = yield from ctx.put_string("/mb.dat")
+
+    def one(self, ctx):
+        vaddr, length = self.path
+        yield ctx.stat(vaddr, length)
+
+
+class MmapMunmap(MicroBenchmark):
+    """mmap + touch + munmap of 16 KiB anonymous memory."""
+
+    name = "mb-mmap"
+    default_iterations = 30
+
+    def one(self, ctx):
+        length = 4 * PAGE_SIZE
+        vaddr = yield ctx.mmap(length, uapi.PROT_READ | uapi.PROT_WRITE,
+                               uapi.MAP_ANON)
+        yield ctx.store(vaddr, b"x")
+        yield ctx.munmap(vaddr, length)
+
+
+class BrkGrow(MicroBenchmark):
+    """Grow the heap one page at a time and touch it."""
+
+    name = "mb-brk"
+    default_iterations = 30
+
+    def setup(self, ctx):
+        self.brk = yield ctx.brk(0)
+
+    def one(self, ctx):
+        self.brk += PAGE_SIZE
+        yield ctx.brk(self.brk)
+        yield ctx.store(self.brk - PAGE_SIZE, b"y")
+
+
+class PageFaultTouch(MicroBenchmark):
+    """First-touch cost of fresh anonymous pages (demand paging +,
+    when cloaked, zero-fill transitions)."""
+
+    name = "mb-fault"
+    default_iterations = 40
+
+    MAX_PAGES = 128
+
+    def setup(self, ctx):
+        length = self.MAX_PAGES * PAGE_SIZE
+        self.base = yield ctx.mmap(length, uapi.PROT_READ | uapi.PROT_WRITE,
+                                   uapi.MAP_ANON)
+        self.page = 0
+
+    def one(self, ctx):
+        yield ctx.store(self.base + self.page * PAGE_SIZE, b"z")
+        self.page += 1
+
+
+class SignalRoundtrip(MicroBenchmark):
+    """Install a handler, signal self, run the handler."""
+
+    name = "mb-signal"
+    default_iterations = 30
+
+    def __init__(self, iterations: int = 0):
+        super().__init__(iterations)
+        self.hits = 0
+
+    def setup(self, ctx):
+        yield ctx.sigaction(uapi.SIGUSR1, 2)
+
+    def one(self, ctx):
+        yield ctx.kill(ctx.pid, uapi.SIGUSR1)
+        yield ctx.sched_yield()  # delivery point
+
+    def signal_handler(self, ctx, sig):
+        self.hits += 1
+        yield ctx.alu(10)
+
+
+class ForkWait(MicroBenchmark):
+    """fork(2) + immediate child exit + waitpid (paper's worst case).
+
+    The parent keeps a hot working set: touching it between forks is
+    what makes cloaked fork expensive (each fork's address-space copy
+    re-encrypts every dirty plaintext page).
+    """
+
+    name = "mb-fork"
+    default_iterations = 8
+    HOT_PAGES = 3
+
+    def setup(self, ctx):
+        self.hot = ctx.scratch(self.HOT_PAGES * PAGE_SIZE)
+        yield ctx.alu(1)
+
+    def child(self, ctx):
+        return 0
+        yield  # pragma: no cover
+
+    def one(self, ctx):
+        for page in range(self.HOT_PAGES):
+            yield ctx.store(self.hot + page * PAGE_SIZE, b"hot")
+        pid = yield ctx.fork(self.child)
+        yield ctx.waitpid(pid)
+
+
+class ForkExecWait(MicroBenchmark):
+    """fork + exec of a trivial program + waitpid."""
+
+    name = "mb-forkexec"
+    default_iterations = 6
+
+    def setup(self, ctx):
+        self.path = yield from ctx.put_string("/bin/mb-empty")
+
+    def child(self, ctx, path_vaddr, path_len):
+        yield ctx.exec(path_vaddr, path_len)
+        return 127  # unreachable unless exec failed
+
+    def one(self, ctx):
+        vaddr, length = self.path
+        pid = yield ctx.fork(self.child, vaddr, length)
+        yield ctx.waitpid(pid)
+
+
+class ThreadCreateJoin(MicroBenchmark):
+    """thread_create + join with the same hot working set as mb-fork:
+    the thread shares the address space, so no copy and no per-page
+    crypto — the contrast with fork is the point."""
+
+    name = "mb-thread"
+    default_iterations = 8
+    HOT_PAGES = 3
+
+    def setup(self, ctx):
+        self.hot = ctx.scratch(self.HOT_PAGES * PAGE_SIZE)
+        yield ctx.alu(1)
+
+    def worker(self, ctx):
+        return 0
+        yield  # pragma: no cover
+
+    def one(self, ctx):
+        for page in range(self.HOT_PAGES):
+            yield ctx.store(self.hot + page * PAGE_SIZE, b"hot")
+        tid = yield ctx.thread_create(self.worker)
+        yield ctx.thread_join(tid)
+
+
+class PipePingPong(MicroBenchmark):
+    """One-byte request/response over a pipe pair (2 processes +
+    2 context switches per round trip)."""
+
+    name = "mb-pipe"
+    default_iterations = 40
+
+    def echo_child(self, ctx, req_r, rsp_w, req_w, rsp_r):
+        # Close the inherited ends this side does not use, or EOF
+        # never propagates (the classic pipe bug).
+        yield ctx.close(req_w)
+        yield ctx.close(rsp_r)
+        buf = ctx.scratch(8)
+        while True:
+            count = yield ctx.read(req_r, buf, 1)
+            if not isinstance(count, int) or count <= 0:
+                break
+            yield ctx.write(rsp_w, buf, 1)
+        return 0
+
+    def main(self, ctx):
+        count = self.resolve_iterations(ctx)
+        req_r, req_w = yield ctx.pipe()
+        rsp_r, rsp_w = yield ctx.pipe()
+        pid = yield ctx.fork(self.echo_child, req_r, rsp_w, req_w, rsp_r)
+        yield ctx.close(req_r)
+        yield ctx.close(rsp_w)
+        buf = ctx.scratch(8)
+        yield ctx.store(buf, b"!")
+        for __ in range(count):
+            yield ctx.write(req_w, buf, 1)
+            yield ctx.read(rsp_r, buf, 1)
+        yield ctx.close(req_w)
+        yield ctx.close(rsp_r)
+        yield ctx.waitpid(pid)
+        yield from ctx.print("done\n")
+        return 0
+
+
+class ContextSwitch(MicroBenchmark):
+    """Two processes alternating via sched_yield."""
+
+    name = "mb-ctxsw"
+    default_iterations = 60
+
+    def spinner(self, ctx, rounds):
+        for __ in range(rounds):
+            yield ctx.sched_yield()
+        return 0
+
+    def main(self, ctx):
+        count = self.resolve_iterations(ctx)
+        pid = yield ctx.fork(self.spinner, count)
+        for __ in range(count):
+            yield ctx.sched_yield()
+        yield ctx.waitpid(pid)
+        yield from ctx.print("done\n")
+        return 0
+
+
+#: name -> (class, per-iteration op count) for the R-T2 table.
+MICRO_SUITE = (
+    NullCall,
+    Read4K,
+    Write4K,
+    ReadCloaked4K,
+    OpenClose,
+    StatCall,
+    MmapMunmap,
+    BrkGrow,
+    PageFaultTouch,
+    SignalRoundtrip,
+    PipePingPong,
+    ContextSwitch,
+    ThreadCreateJoin,
+    ForkWait,
+    ForkExecWait,
+)

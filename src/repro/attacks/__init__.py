@@ -1,0 +1,29 @@
+"""Malicious-OS probes for the security evaluation (R-T4).
+
+Each attack plays the compromised kernel against a victim process:
+it manipulates exactly the state a real kernel controls (page tables,
+kernel-context memory access, the disk, scheduling, register state at
+traps) and reports one of three outcomes:
+
+* ``LEAKED``    — the attacker observed victim plaintext (a defence
+  failure, expected only for the uncloaked baseline);
+* ``DETECTED``  — the VMM refused/flagged the manipulation;
+* ``DEFEATED``  — the attacker got only ciphertext / scrubbed state
+  and the victim kept running correctly.
+
+``OUT_OF_SCOPE`` marks attacks the paper explicitly does not defend
+against (e.g. a kernel lying through *unprotected* syscall channels),
+kept in the table for honesty about the trust boundary.
+"""
+
+from repro.attacks.base import Attack, AttackOutcome, AttackReport
+from repro.attacks.harness import ATTACK_SUITE, run_attack, run_suite
+
+__all__ = [
+    "ATTACK_SUITE",
+    "Attack",
+    "AttackOutcome",
+    "AttackReport",
+    "run_attack",
+    "run_suite",
+]

@@ -1,0 +1,75 @@
+"""Common scaffolding for the attack suite."""
+
+import enum
+from typing import Optional
+
+from repro.apps.secrets import SECRET
+from repro.guestos.process import Process
+from repro.hw.mmu import MODE_KERNEL, SYSTEM_VIEW
+from repro.machine import Machine
+
+
+class AttackOutcome(enum.Enum):
+    LEAKED = "LEAKED"            # plaintext observed by the attacker
+    DETECTED = "DETECTED"        # VMM raised a violation
+    DEFEATED = "DEFEATED"        # attacker saw ciphertext / scrubbed state
+    OUT_OF_SCOPE = "OUT-OF-SCOPE"  # paper's threat model excludes it
+
+
+class AttackReport:
+    """Result of one attack run."""
+
+    def __init__(self, attack_name: str, cloaked: bool,
+                 outcome: AttackOutcome, detail: str = ""):
+        self.attack_name = attack_name
+        self.cloaked = cloaked
+        self.outcome = outcome
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        mode = "cloaked" if self.cloaked else "native"
+        return f"AttackReport({self.attack_name}/{mode}: {self.outcome.value})"
+
+
+class Attack:
+    """Base class: run a victim to readiness, strike, assess."""
+
+    name = "attack"
+    description = ""
+
+    def run(self, machine: Machine, victim: Process) -> AttackReport:
+        raise NotImplementedError
+
+    # -- helpers usable by any attack (kernel-level powers) -------------------
+
+    @staticmethod
+    def kernel_read(machine: Machine, victim: Process, vaddr: int,
+                    nbytes: int) -> bytes:
+        """Read victim memory from kernel context (system view)."""
+        machine.mmu.set_context(victim.asid, SYSTEM_VIEW, MODE_KERNEL)
+        return machine.mmu.read(vaddr, nbytes)
+
+    @staticmethod
+    def kernel_write(machine: Machine, victim: Process, vaddr: int,
+                     data: bytes) -> None:
+        machine.mmu.set_context(victim.asid, SYSTEM_VIEW, MODE_KERNEL)
+        machine.mmu.write(vaddr, data)
+
+    @staticmethod
+    def secret_vaddr(machine: Machine, victim: Process) -> int:
+        """Where the victim program put its secret (the attacker can
+        learn this from access patterns; we just ask the program)."""
+        vaddr = victim.runtime.program.secret_vaddr
+        if vaddr is None:
+            raise RuntimeError("victim has not placed its secret yet")
+        return vaddr
+
+    @staticmethod
+    def observed_plaintext(data: bytes) -> bool:
+        return SECRET[:16] in data
+
+    @staticmethod
+    def finish(machine: Machine, victim: Process) -> Optional[str]:
+        """Resume the world; returns the victim's final console text."""
+        machine.run()
+        return machine.kernel.console.text_of(victim.pid)

@@ -1,0 +1,60 @@
+"""Data-at-rest attacks: the kernel inspects or tampers with the disk.
+
+The OS owns the storage stack outright, so cloaked file protection has
+to come from the data itself: pages reach the device already encrypted
+(DMA interposition), and tampered blocks fail verification when mapped
+back in.
+"""
+
+from repro.attacks.base import Attack, AttackOutcome, AttackReport
+from repro.guestos.process import Process
+from repro.machine import Machine
+
+#: Written by the victim file program before the attack window.
+SECRET_FILE_CONTENT = b"SECRET-LEDGER-ROW"
+
+
+class DiskScrape(Attack):
+    name = "disk-scrape"
+    description = "kernel reads the protected file's disk blocks"
+
+    def run(self, machine: Machine, victim: Process) -> AttackReport:
+        # Flush everything so the data is at rest.
+        for inode in machine.kernel.fs.all_inodes():
+            if inode.itype.value == "regular":
+                machine.kernel.fs.writeback(inode)
+        observed = b"".join(
+            machine.disk.read_block(lba)
+            for lba in range(machine.disk.num_blocks)
+            if machine.disk.reads < 10_000
+        )
+        leaked = SECRET_FILE_CONTENT in observed
+        final = self.finish(machine, victim)
+        detail = f"scanned {machine.disk.num_blocks} blocks"
+        if leaked:
+            return AttackReport(self.name, victim.cloaked,
+                                AttackOutcome.LEAKED, detail)
+        return AttackReport(self.name, victim.cloaked,
+                            AttackOutcome.DEFEATED,
+                            detail + f", victim: {final.strip()!r}")
+
+
+class PageCacheScrape(Attack):
+    name = "pagecache-scrape"
+    description = "kernel reads the protected file's page-cache frames"
+
+    def run(self, machine: Machine, victim: Process) -> AttackReport:
+        observed = bytearray()
+        for inode in machine.kernel.fs.all_inodes():
+            for pfn in inode.pages.values():
+                # Honest kernels use DMA/the MMU; the strongest attacker
+                # reads the frame as the device would.
+                observed += machine.dma.read_frame(pfn)
+        leaked = SECRET_FILE_CONTENT in bytes(observed)
+        final = self.finish(machine, victim)
+        if leaked:
+            return AttackReport(self.name, victim.cloaked,
+                                AttackOutcome.LEAKED, "plaintext in page cache")
+        return AttackReport(self.name, victim.cloaked,
+                            AttackOutcome.DEFEATED,
+                            f"victim: {final.strip()!r}")

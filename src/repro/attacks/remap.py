@@ -1,0 +1,69 @@
+"""Remapping: the kernel rewires page tables under the victim.
+
+Swapping the frames of two cloaked pages (or pointing a cloaked page
+at a kernel-controlled frame) is fully within the OS's architectural
+power; the MAC's binding to the page's identity is what must catch it.
+"""
+
+from repro.attacks.base import Attack, AttackOutcome, AttackReport
+from repro.guestos.process import Process
+from repro.machine import Machine
+
+
+class PageSwap(Attack):
+    name = "remap-swap"
+    description = "kernel swaps the frames of two victim pages"
+
+    def run(self, machine: Machine, victim: Process) -> AttackReport:
+        vaddr = self.secret_vaddr(machine, victim)
+        secret_vpn = vaddr >> 12
+        mapped = dict(victim.aspace.mapped_pages())
+        other_vpn = next(
+            (vpn for vpn in mapped
+             if vpn != secret_vpn and victim.aspace.find_vma(vpn) is not None
+             and victim.aspace.find_vma(vpn).label == "data"),
+            None,
+        )
+        if other_vpn is None:
+            return AttackReport(self.name, victim.cloaked,
+                                AttackOutcome.DEFEATED, "no sibling page")
+        pfn_a, pfn_b = mapped[secret_vpn], mapped[other_vpn]
+        # Force both to their system-visible form first (legal).
+        self.kernel_read(machine, victim, secret_vpn << 12, 1)
+        self.kernel_read(machine, victim, other_vpn << 12, 1)
+        victim.aspace.map_page(secret_vpn, pfn_b, writable=True)
+        victim.aspace.map_page(other_vpn, pfn_a, writable=True)
+
+        final = self.finish(machine, victim)
+        detail = f"swapped vpn {secret_vpn:#x} <-> {other_vpn:#x}"
+        if machine.violations:
+            return AttackReport(self.name, victim.cloaked,
+                                AttackOutcome.DETECTED, detail)
+        if "intact" in final:
+            return AttackReport(self.name, victim.cloaked,
+                                AttackOutcome.DEFEATED, detail)
+        return AttackReport(self.name, victim.cloaked,
+                            AttackOutcome.LEAKED, detail)
+
+
+class FrameSubstitution(Attack):
+    name = "remap-substitute"
+    description = "kernel maps a kernel-filled frame under the secret"
+
+    def run(self, machine: Machine, victim: Process) -> AttackReport:
+        vaddr = self.secret_vaddr(machine, victim)
+        secret_vpn = vaddr >> 12
+        evil_pfn = machine.alloc.alloc()
+        machine.phys.write(evil_pfn, 0, b"KERNEL-PLANTED-DATA " * 16)
+        victim.aspace.map_page(secret_vpn, evil_pfn, writable=True)
+
+        final = self.finish(machine, victim)
+        detail = f"substituted frame {evil_pfn}"
+        if machine.violations:
+            return AttackReport(self.name, victim.cloaked,
+                                AttackOutcome.DETECTED, detail)
+        if "intact" in final:
+            return AttackReport(self.name, victim.cloaked,
+                                AttackOutcome.DEFEATED, detail)
+        return AttackReport(self.name, victim.cloaked,
+                            AttackOutcome.LEAKED, detail)

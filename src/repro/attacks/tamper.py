@@ -1,0 +1,54 @@
+"""Tampering: the kernel modifies cloaked data.
+
+Two variants: flipping bits in the (encrypted) frame, and overwriting
+with chosen plaintext.  Either way the MAC check on the victim's next
+access must fail; for the uncloaked baseline the victim silently
+computes on attacker-chosen data.
+"""
+
+from repro.attacks.base import Attack, AttackOutcome, AttackReport
+from repro.apps.secrets import SECRET
+from repro.guestos.process import Process
+from repro.machine import Machine
+
+
+class _TamperBase(Attack):
+    def _assess(self, machine: Machine, victim: Process,
+                detail: str) -> AttackReport:
+        final = self.finish(machine, victim)
+        detail += f", victim: {final.strip()!r}"
+        if machine.violations:
+            return AttackReport(self.name, victim.cloaked,
+                                AttackOutcome.DETECTED, detail)
+        if "intact" in final:
+            # Tampering vanished (e.g. page was re-materialised) — the
+            # victim was unaffected.
+            return AttackReport(self.name, victim.cloaked,
+                                AttackOutcome.DEFEATED, detail)
+        # The victim consumed corrupted data without any alarm.
+        return AttackReport(self.name, victim.cloaked,
+                            AttackOutcome.LEAKED, detail)
+
+
+class BitFlip(_TamperBase):
+    name = "tamper-bitflip"
+    description = "kernel flips one bit in the victim's secret page"
+
+    def run(self, machine: Machine, victim: Process) -> AttackReport:
+        vaddr = self.secret_vaddr(machine, victim)
+        current = self.kernel_read(machine, victim, vaddr, 1)
+        self.kernel_write(machine, victim, vaddr,
+                          bytes([current[0] ^ 0x80]))
+        return self._assess(machine, victim, "flipped 1 bit")
+
+
+class Overwrite(_TamperBase):
+    name = "tamper-overwrite"
+    description = "kernel overwrites the secret with chosen plaintext"
+
+    def run(self, machine: Machine, victim: Process) -> AttackReport:
+        vaddr = self.secret_vaddr(machine, victim)
+        forged = b"ATTACKER-CHOSEN-VALUE-0000000000"[: len(SECRET)]
+        forged = forged.ljust(len(SECRET), b"#")
+        self.kernel_write(machine, victim, vaddr, forged)
+        return self._assess(machine, victim, "overwrote secret")

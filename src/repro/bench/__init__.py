@@ -1,0 +1,19 @@
+"""Benchmark harness: regenerates every table and figure of the
+(reconstructed) evaluation.
+
+Each ``exp_*`` module exposes ``run(verbose=...)`` returning structured
+results; the pytest-benchmark wrappers in ``benchmarks/`` call these
+and print the paper-style tables.  See DESIGN.md for the experiment
+index (R-T1..R-T4, R-F1..R-F4, R-A1..R-A3).
+"""
+
+from repro.bench.runner import compare_program, fresh_machine, measure_program
+from repro.bench.tables import Series, Table
+
+__all__ = [
+    "Series",
+    "Table",
+    "compare_program",
+    "fresh_machine",
+    "measure_program",
+]

@@ -1,0 +1,78 @@
+"""R-F3: web-server throughput vs client concurrency.
+
+The server is the protected party; closed-loop clients (native — they
+model remote browsers) issue requests over FIFOs.  Throughput is
+requests completed per million virtual cycles.
+
+Expected shape (paper, Apache): moderate constant-factor overhead from
+the per-request syscall trail (accept/read/open/read/write ×
+marshalling), flat-ish in concurrency because the single-CPU machine
+is server-bound in both configurations.
+"""
+
+import hashlib
+from typing import List
+
+from repro.apps.secrets import SECRET
+from repro.bench.runner import fresh_machine
+from repro.bench.tables import Series
+
+CLIENT_COUNTS = (1, 2, 4, 8)
+REQUESTS_PER_CLIENT = 4
+FILE_SIZE = 8 * 1024
+DOC_PATH = "/www/index.bin"
+
+
+def _seed_document(machine) -> None:
+    vfs = machine.kernel.vfs
+    inode = vfs.create_file(DOC_PATH)
+    payload = (hashlib.sha256(b"document").digest() * (FILE_SIZE // 32))
+    machine.kernel.fs.write(inode, 0, payload[:FILE_SIZE])
+
+
+def _throughput(server_cloaked: bool, clients: int) -> float:
+    machine = fresh_machine(cloaked=False,
+                            programs=("webclient",))
+    # The server is registered separately so only *it* is cloaked.
+    from repro.apps.webserver import WebServer
+
+    machine.register(WebServer, cloaked=server_cloaked)
+    _seed_document(machine)
+    vfs = machine.kernel.vfs
+    vfs.mkfifo("/srv/req")
+    for cid in range(clients):
+        vfs.mkfifo(f"/srv/rsp{cid}")
+
+    total_requests = clients * REQUESTS_PER_CLIENT
+    snap = machine.cycles.snapshot()
+    for cid in range(clients):
+        machine.spawn("webclient",
+                      (str(cid), str(REQUESTS_PER_CLIENT), DOC_PATH))
+    server = machine.spawn("webserver", (str(total_requests),))
+    machine.run()
+    served_line = machine.kernel.console.text_of(server.pid)
+    if f"served {total_requests}" not in served_line:
+        raise RuntimeError(f"server under-served: {served_line!r}")
+    cycles = machine.cycles.since(snap).total
+    return total_requests / (cycles / 1_000_000.0)
+
+
+def run(verbose: bool = True) -> Series:
+    series = Series(
+        "R-F3: web-server throughput vs concurrency (requests / Mcycle)",
+        "clients",
+        ["native server", "cloaked server"],
+    )
+    for clients in CLIENT_COUNTS:
+        series.add_point(
+            clients,
+            _throughput(False, clients),
+            _throughput(True, clients),
+        )
+    if verbose:
+        series.show()
+    return series
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,63 @@
+"""Overshadow's trusted core: the VMM, multi-shadowing, and cloaking.
+
+This package is the paper's primary contribution.  Everything here is
+inside the trusted computing base; the guest OS in
+:mod:`repro.guestos` never imports from it except through the
+architectural interfaces the :class:`repro.core.vmm.VMM` exposes
+(translation fills, world switches, observed page-table edits) and
+the shim's hypercalls.
+"""
+
+from repro.core.cloak import CloakConfig, CloakEngine
+from repro.core.crypto import PageCipher, hash_image
+from repro.core.ctc import CloakedThreadContext, CTCTable, ExitReason
+from repro.core.domains import CloakedRange, DomainTable, ProtectionDomain, SYSTEM_DOMAIN
+from repro.core.errors import (
+    ControlTransferViolation,
+    FreshnessViolation,
+    HypercallError,
+    IdentityViolation,
+    IntegrityViolation,
+    OvershadowError,
+)
+from repro.core.hypercall import Hypercall, HypercallDispatcher
+from repro.core.metadata import (
+    CloakState,
+    FileMetadataStore,
+    MetadataStore,
+    PageMetadata,
+)
+from repro.core.multishadow import MultiShadow, POLICY_FLUSH, POLICY_TAGGED, ShadowContext
+from repro.core.vmm import VMM, VMMConfig
+
+__all__ = [
+    "CloakConfig",
+    "CloakEngine",
+    "CloakState",
+    "CloakedRange",
+    "CloakedThreadContext",
+    "ControlTransferViolation",
+    "CTCTable",
+    "DomainTable",
+    "ExitReason",
+    "FileMetadataStore",
+    "FreshnessViolation",
+    "Hypercall",
+    "HypercallDispatcher",
+    "HypercallError",
+    "IdentityViolation",
+    "IntegrityViolation",
+    "MetadataStore",
+    "MultiShadow",
+    "OvershadowError",
+    "PageCipher",
+    "PageMetadata",
+    "POLICY_FLUSH",
+    "POLICY_TAGGED",
+    "ProtectionDomain",
+    "ShadowContext",
+    "SYSTEM_DOMAIN",
+    "VMM",
+    "VMMConfig",
+    "hash_image",
+]

@@ -1,0 +1,188 @@
+"""Cryptographic primitives for memory cloaking.
+
+The paper uses AES-128 in CBC/CTR-style modes plus SHA-256 hashes
+maintained in VMM metadata.  This offline environment has no crypto
+library, so we build the same *protocol shape* from ``hashlib``:
+
+* confidentiality: a CTR-mode stream cipher whose keystream blocks are
+  ``SHA-256(key || iv || counter)`` — a keyed PRF in counter mode,
+  structurally identical to AES-CTR (same IV-uniqueness obligation,
+  same malleability, which is why the MAC below is not optional);
+* integrity + binding: HMAC-SHA256 over the ciphertext *and* the
+  page's cloaking position (domain, vpn, version, iv), which is what
+  defeats relocation and replay.
+
+Costs are modelled in virtual cycles by the cloak engine, so the
+substitution does not distort any performance result.
+"""
+
+import hashlib
+import hmac
+import struct
+from typing import Optional, Tuple
+
+#: Size of one keystream block (SHA-256 output).
+_BLOCK = 32
+
+#: Length of keys and MACs, bytes.
+KEY_LEN = 32
+MAC_LEN = 32
+IV_LEN = 24
+
+MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def derive_key(master: bytes, purpose: str, qualifier: int = 0) -> bytes:
+    """Derive a sub-key from ``master`` for a named purpose.
+
+    The VMM holds one master secret per machine; per-domain page keys
+    and MAC keys are derived, never stored.
+    """
+    info = purpose.encode() + struct.pack("<Q", qualifier)
+    return hmac.new(master, b"derive" + info, hashlib.sha256).digest()
+
+
+def make_iv(lineage_id: int, vpn: int, version: int) -> bytes:
+    """Deterministic unique IV for one (principal, page, version)
+    encryption.
+
+    Uniqueness is the whole requirement for CTR mode; the version
+    counter increments on every re-encryption of the page, so no
+    (key, iv) pair ever encrypts two different plaintexts.
+    """
+    return struct.pack("<QQQ", lineage_id & MASK64, vpn & MASK64, version)
+
+
+def keystream(key: bytes, iv: bytes, length: int) -> bytes:
+    """PRF counter-mode keystream of ``length`` bytes."""
+    if length < 0:
+        raise ValueError("negative keystream length")
+    blocks = []
+    for counter in range((length + _BLOCK - 1) // _BLOCK):
+        blocks.append(
+            hashlib.sha256(key + iv + struct.pack("<Q", counter)).digest()
+        )
+    return b"".join(blocks)[:length]
+
+
+def xor_bytes(data: bytes, pad: bytes) -> bytes:
+    if len(data) != len(pad):
+        raise ValueError("xor operands differ in length")
+    return bytes(a ^ b for a, b in zip(data, pad))
+
+
+def encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+    """CTR encryption; decryption is the same operation."""
+    return xor_bytes(plaintext, keystream(key, iv, len(plaintext)))
+
+
+decrypt = encrypt
+
+
+def page_mac(
+    mac_key: bytes,
+    ciphertext: bytes,
+    lineage_id: int,
+    vpn: int,
+    version: int,
+    iv: bytes,
+) -> bytes:
+    """MAC binding ciphertext to its cloaking position.
+
+    Covering (principal, vpn, version, iv) in the MAC is what lets the
+    VMM detect the OS relocating ciphertext to a different virtual
+    page, swapping pages between applications, or replaying stale
+    versions.
+    """
+    header = struct.pack("<QQQ", lineage_id & MASK64, vpn & MASK64, version)
+    return hmac.new(mac_key, header + iv + ciphertext, hashlib.sha256).digest()
+
+
+def macs_equal(a: bytes, b: bytes) -> bool:
+    """Constant-time MAC comparison (hygiene; the simulation's timing
+    is virtual anyway)."""
+    return hmac.compare_digest(a, b)
+
+
+def hash_image(image: bytes) -> bytes:
+    """Identity hash of a cloaked program image (paper's §application
+    identity)."""
+    return hashlib.sha256(b"overshadow-image" + image).digest()
+
+
+class PageCipher:
+    """Key material of one security principal (application identity).
+
+    Keys derive from the VMM master secret and the application's
+    *identity hash*, not from any per-process nonce.  Consequences the
+    paper relies on: a forked child (same identity) verifies pages the
+    parent encrypted; a re-run of the same application can decrypt the
+    cloaked files an earlier run persisted; and two *different*
+    applications can never verify each other's pages because their
+    keys differ.
+
+    ``lineage_id`` is the numeric form of the identity (first 8 bytes
+    of its hash), used for metadata indexing and MAC binding.
+    """
+
+    def __init__(self, master: bytes, identity: bytes):
+        self.identity = identity
+        digest = hashlib.sha256(b"principal" + identity).digest()
+        self.lineage_id = int.from_bytes(digest[:8], "little")
+        self._enc_key = hmac.new(master, b"page-enc" + identity,
+                                 hashlib.sha256).digest()
+        self._mac_key = hmac.new(master, b"page-mac" + identity,
+                                 hashlib.sha256).digest()
+
+    def shares_keys_with(self, other: "PageCipher") -> bool:
+        return self._enc_key == other._enc_key and self._mac_key == other._mac_key
+
+    def encrypt_page(self, vpn: int, version: int, plaintext: bytes) -> Tuple[bytes, bytes, bytes]:
+        """Encrypt one page; returns (ciphertext, iv, mac)."""
+        iv = make_iv(self.lineage_id, vpn, version)
+        ciphertext = encrypt(self._enc_key, iv, plaintext)
+        mac = page_mac(self._mac_key, ciphertext, self.lineage_id, vpn, version, iv)
+        return ciphertext, iv, mac
+
+    def verify_page(
+        self, vpn: int, version: int, iv: bytes, mac: bytes, ciphertext: bytes
+    ) -> bool:
+        expected = page_mac(self._mac_key, ciphertext, self.lineage_id, vpn, version, iv)
+        return macs_equal(expected, mac)
+
+    def decrypt_page(self, iv: bytes, ciphertext: bytes) -> bytes:
+        return decrypt(self._enc_key, iv, ciphertext)
+
+    # -- sealed messages (protected IPC channels) -----------------------------
+
+    #: Marks an IV as belonging to a message channel, so channel
+    #: keystreams can never collide with page keystreams.
+    CHANNEL_FLAG = 1 << 62
+
+    def seal_message(self, channel_id: int, seq: int, plaintext: bytes) -> bytes:
+        """Encrypt + MAC one channel message.
+
+        The (channel, sequence) pair plays the role (vpn, version)
+        plays for pages: it makes every keystream unique and binds the
+        record to its position in the conversation, so reordering,
+        replay, and cross-channel splicing all fail the MAC.
+        """
+        binding = self.CHANNEL_FLAG | (channel_id & 0x3FFFFFFFFFFFFFFF)
+        iv = make_iv(self.lineage_id, binding, seq)
+        ciphertext = encrypt(self._enc_key, iv, plaintext)
+        mac = page_mac(self._mac_key, ciphertext, self.lineage_id, binding,
+                       seq, iv)
+        return ciphertext + mac
+
+    def open_message(self, channel_id: int, seq: int, record: bytes) -> Optional[bytes]:
+        """Verify + decrypt a sealed record; None on any mismatch."""
+        if len(record) < MAC_LEN:
+            return None
+        ciphertext, mac = record[:-MAC_LEN], record[-MAC_LEN:]
+        binding = self.CHANNEL_FLAG | (channel_id & 0x3FFFFFFFFFFFFFFF)
+        iv = make_iv(self.lineage_id, binding, seq)
+        expected = page_mac(self._mac_key, ciphertext, self.lineage_id,
+                            binding, seq, iv)
+        if not macs_equal(expected, mac):
+            return None
+        return decrypt(self._enc_key, iv, ciphertext)

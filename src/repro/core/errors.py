@@ -1,0 +1,44 @@
+"""Errors raised by the trusted computing base (VMM + cloaking engine).
+
+A violation means the untrusted OS (or anything else outside the TCB)
+presented a cloaked page whose contents do not match the VMM's
+metadata.  Per the paper, Overshadow's response is to refuse to expose
+the data to the application — privacy and integrity are guaranteed,
+availability is not.
+"""
+
+
+class OvershadowError(Exception):
+    """Base class for VMM-level errors."""
+
+
+class IntegrityViolation(OvershadowError):
+    """Cloaked page contents fail MAC verification: tampering."""
+
+    def __init__(self, domain_id: int, vpn: int, detail: str = ""):
+        message = f"integrity violation: domain {domain_id}, vpn {vpn:#x}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.domain_id = domain_id
+        self.vpn = vpn
+
+
+class FreshnessViolation(IntegrityViolation):
+    """Cloaked page matches an *old* version: a rollback/replay attack."""
+
+    def __init__(self, domain_id: int, vpn: int, stale_version: int):
+        super().__init__(domain_id, vpn, f"replay of version {stale_version}")
+        self.stale_version = stale_version
+
+
+class IdentityViolation(OvershadowError):
+    """A cloaked program image does not match its registered identity."""
+
+
+class HypercallError(OvershadowError):
+    """Malformed or unauthorized hypercall."""
+
+
+class ControlTransferViolation(OvershadowError):
+    """Attempt to enter a cloaked context at an unapproved point."""

@@ -1,0 +1,27 @@
+"""The Overshadow shim: the user-level adaptation layer.
+
+The shim is loaded into every cloaked application.  It bootstraps the
+protection domain (identity check, cloaked ranges, image adoption),
+then interposes on every syscall: arguments and results that must be
+kernel-visible are marshalled through a small *uncloaked* buffer
+region, while file I/O on protected files is emulated entirely inside
+cloaked memory through memory-mapped windows (the "transparent
+memory-mapped emulation of I/O calls" mechanism).
+
+Only the shim talks to the VMM (hypercalls); the application above it
+is unmodified, and the kernel below it sees an ordinary process whose
+pages happen to read as ciphertext.
+"""
+
+from repro.core.shim.marshal import MarshalArena
+from repro.core.shim.ioemu import CloakedFileTable
+from repro.core.shim.protocol import SyscallClass, classify
+from repro.core.shim.shim import ShimRuntime
+
+__all__ = [
+    "CloakedFileTable",
+    "MarshalArena",
+    "ShimRuntime",
+    "SyscallClass",
+    "classify",
+]

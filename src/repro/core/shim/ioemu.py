@@ -1,0 +1,228 @@
+"""Memory-mapped emulation of file I/O on cloaked files.
+
+read(2)/write(2) on a protected file never pass data through the
+kernel.  The shim maps the file's pages into cloaked memory
+(MAP_SHARED), registers the window with the VMM (FILE_BIND), and
+emulates the calls as user-level copies within the cloaked address
+space.  The kernel still does everything an OS does for a mapped
+file — allocates page-cache frames, pages them to disk, tracks sizes —
+but every byte it can observe is ciphertext, and the per-page
+(version, IV, MAC) triples persist in the VMM's file metadata store so
+the data verifies when mapped again later, even by a different process
+of the same identity.
+
+This module is the reproduction of the "Transparent memory-mapped
+emulation of I/O calls" mechanism (the Overshadow-derived patent
+included with the source material).
+"""
+
+from typing import Dict, Optional
+
+from repro.core.hypercall import Hypercall
+from repro.guestos import layout, uapi
+from repro.guestos.uapi import HypercallOp, Syscall, SyscallOp
+from repro.hw.params import PAGE_SIZE
+
+#: Smallest mapping, pages (avoids remapping tiny growing files).
+MIN_WINDOW_PAGES = 16
+
+
+class CloakedFile:
+    """Shim-side state of one open cloaked file."""
+
+    __slots__ = ("fd", "file_id", "size", "offset", "map_vaddr", "map_pages",
+                 "flags", "synced_size")
+
+    def __init__(self, fd: int, file_id: int, size: int, flags: int):
+        self.fd = fd
+        self.file_id = file_id
+        self.size = size
+        self.offset = 0
+        self.map_vaddr: Optional[int] = None
+        self.map_pages = 0
+        self.flags = flags
+        #: The size the kernel's inode currently records; the shim
+        #: batches ftruncate calls rather than issuing one per write.
+        self.synced_size = size
+
+
+class CloakedFileTable:
+    """All cloaked files of one shim instance, with emulation logic.
+
+    Methods are generators yielding user ops; the shim drives them
+    with ``yield from`` inside its interposition loop.  Return values
+    follow the syscall convention (negative errno on failure).
+    """
+
+    def __init__(self, arena):
+        self._arena = arena
+        self._files: Dict[int, CloakedFile] = {}
+        #: windows opened so far (statistic for the overhead table).
+        self.windows_mapped = 0
+
+    def is_cloaked(self, fd: int) -> bool:
+        return fd in self._files
+
+    def get(self, fd: int) -> CloakedFile:
+        return self._files[fd]
+
+    # -- open / close -----------------------------------------------------------
+
+    def open(self, path: str, flags: int):
+        """Open a protected file: real open + window registration."""
+        data = path.encode()
+        self._arena.reset()
+        path_vaddr = self._arena.alloc(len(data) or 1)
+        yield uapi.Store(path_vaddr, data or b"\x00")
+        fd = yield SyscallOp(Syscall.OPEN, (path_vaddr, len(data), flags))
+        if not isinstance(fd, int) or fd < 0:
+            return fd
+        st = yield SyscallOp(Syscall.FSTAT, (fd,))
+        if isinstance(st, int) and st < 0:
+            yield SyscallOp(Syscall.CLOSE, (fd,))
+            return st
+        __, size, file_id = st
+        if flags & uapi.O_TRUNC:
+            # Old contents (and their persistent MACs) are dead.
+            yield HypercallOp(Hypercall.FILE_FORGET, (file_id,))
+            size = 0
+        cloaked = CloakedFile(fd, file_id, size, flags)
+        self._files[fd] = cloaked
+        if size > 0:
+            result = yield from self._map_window(cloaked, layout.page_count(size))
+            if result < 0:
+                del self._files[fd]
+                yield SyscallOp(Syscall.CLOSE, (fd,))
+                return result
+        if flags & uapi.O_APPEND:
+            cloaked.offset = cloaked.size
+        return fd
+
+    def close(self, fd: int):
+        cloaked = self._files.pop(fd)
+        yield from self._sync_size(cloaked)
+        yield from self._unmap_window(cloaked)
+        result = yield SyscallOp(Syscall.CLOSE, (fd,))
+        return result
+
+    def _sync_size(self, cloaked: CloakedFile):
+        """Flush the batched logical size to the kernel's inode."""
+        if cloaked.synced_size != cloaked.size:
+            yield SyscallOp(Syscall.TRUNCATE, (cloaked.fd, cloaked.size))
+            cloaked.synced_size = cloaked.size
+
+    # -- window management -----------------------------------------------------------
+
+    def _map_window(self, cloaked: CloakedFile, npages: int):
+        npages = max(npages, MIN_WINDOW_PAGES)
+        vaddr = yield SyscallOp(Syscall.MMAP, (
+            npages * PAGE_SIZE,
+            uapi.PROT_READ | uapi.PROT_WRITE,
+            uapi.MAP_SHARED,
+            cloaked.fd,
+            0,
+        ))
+        if not isinstance(vaddr, int) or vaddr < 0:
+            return vaddr if isinstance(vaddr, int) else -uapi.EINVAL
+        vpn = layout.vpn_of(vaddr)
+        yield HypercallOp(Hypercall.CLOAK_RANGE, (vpn, vpn + npages,
+                                                  "cloaked-file"))
+        yield HypercallOp(Hypercall.FILE_BIND, (vpn, cloaked.file_id, 0, npages))
+        cloaked.map_vaddr = vaddr
+        cloaked.map_pages = npages
+        self.windows_mapped += 1
+        return 0
+
+    def _unmap_window(self, cloaked: CloakedFile):
+        yield from self._sync_size(cloaked)
+        if cloaked.map_vaddr is None:
+            return
+        vpn = layout.vpn_of(cloaked.map_vaddr)
+        # FILE_UNBIND persists plaintext pages (encrypt + save file
+        # metadata) before the mapping goes away.
+        yield HypercallOp(Hypercall.FILE_UNBIND, (vpn, cloaked.map_pages))
+        yield HypercallOp(Hypercall.UNCLOAK_RANGE, (vpn, vpn + cloaked.map_pages))
+        yield SyscallOp(Syscall.MUNMAP, (cloaked.map_vaddr,
+                                         cloaked.map_pages * PAGE_SIZE))
+        cloaked.map_vaddr = None
+        cloaked.map_pages = 0
+
+    def _ensure_window(self, cloaked: CloakedFile, needed_bytes: int):
+        needed_pages = layout.page_count(max(needed_bytes, 1))
+        if cloaked.map_vaddr is not None and needed_pages <= cloaked.map_pages:
+            return 0
+        grown = max(needed_pages, cloaked.map_pages * 4, MIN_WINDOW_PAGES)
+        yield from self._unmap_window(cloaked)
+        result = yield from self._map_window(cloaked, grown)
+        return result
+
+    # -- emulated calls ------------------------------------------------------------------
+
+    def read(self, fd: int, buf_vaddr: int, nbytes: int):
+        cloaked = self._files[fd]
+        nbytes = min(nbytes, cloaked.size - cloaked.offset)
+        if nbytes <= 0:
+            return 0
+        result = yield from self._ensure_window(cloaked, cloaked.size)
+        if result < 0:
+            return result
+        yield uapi.Copy(cloaked.map_vaddr + cloaked.offset, buf_vaddr, nbytes)
+        cloaked.offset += nbytes
+        return nbytes
+
+    def write(self, fd: int, buf_vaddr: int, nbytes: int):
+        cloaked = self._files[fd]
+        if nbytes <= 0:
+            return 0
+        if cloaked.flags & uapi.O_APPEND:
+            cloaked.offset = cloaked.size
+        end = cloaked.offset + nbytes
+        result = yield from self._ensure_window(cloaked, end)
+        if result < 0:
+            return result
+        if end > cloaked.size:
+            cloaked.size = end
+            # The kernel tracks the (ciphertext) file size; the shim
+            # syncs it lazily — when the logical size outruns the
+            # recorded one by a page, and always at close/unmap.
+            if end - cloaked.synced_size >= PAGE_SIZE:
+                yield from self._sync_size(cloaked)
+        yield uapi.Copy(buf_vaddr, cloaked.map_vaddr + cloaked.offset, nbytes)
+        cloaked.offset = end
+        return nbytes
+
+    def lseek(self, fd: int, offset: int, whence: int) -> int:
+        cloaked = self._files[fd]
+        if whence == uapi.SEEK_SET:
+            new = offset
+        elif whence == uapi.SEEK_CUR:
+            new = cloaked.offset + offset
+        elif whence == uapi.SEEK_END:
+            new = cloaked.size + offset
+        else:
+            return -uapi.EINVAL
+        if new < 0:
+            return -uapi.EINVAL
+        cloaked.offset = new
+        return new
+
+    def fstat(self, fd: int):
+        cloaked = self._files[fd]
+        return (uapi.S_IFREG, cloaked.size, cloaked.file_id)
+
+    def truncate(self, fd: int, size: int):
+        cloaked = self._files[fd]
+        if size < 0:
+            return -uapi.EINVAL
+        result = yield SyscallOp(Syscall.TRUNCATE, (fd, size))
+        if isinstance(result, int) and result < 0:
+            return result
+        cloaked.size = size
+        cloaked.synced_size = size
+        cloaked.offset = min(cloaked.offset, size)
+        return 0
+
+    def close_all(self):
+        """exit(2) path: persist and release every window."""
+        for fd in list(self._files):
+            yield from self.close(fd)

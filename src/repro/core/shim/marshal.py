@@ -1,0 +1,67 @@
+"""Marshalling buffers: the uncloaked window syscalls pass through.
+
+The arena lives at a fixed, deliberately *uncloaked* location in the
+application's address space.  Copying data here is an explicit act of
+declassification: whatever the shim places in the arena is exactly
+what the kernel is entitled to see for the current syscall (a path
+name, a buffer destined for an unprotected file, a console line).
+
+Allocation is a rotating bump pointer (a ring): each syscall's window
+is small and short-lived, and wrapping instead of resetting keeps the
+windows of *different threads* (which share one arena, because they
+share one address space) from landing on top of each other while one
+of them is parked in a blocking syscall.
+"""
+
+from repro.guestos import layout
+from repro.hw.params import PAGE_SIZE
+
+
+class MarshalArena:
+    """Bump allocator over the uncloaked marshal region."""
+
+    def __init__(self, base: int = layout.MARSHAL_BASE,
+                 pages: int = layout.MARSHAL_PAGES):
+        self.base = base
+        self.size = pages * PAGE_SIZE
+        self._cursor = base
+
+    @property
+    def capacity(self) -> int:
+        return self.size
+
+    def reset(self) -> None:
+        """Start a new marshalling window.
+
+        Kept as a logical marker; allocation itself rotates, so old
+        windows are not immediately clobbered (threads may still have
+        a parked syscall pointing into one).
+        """
+
+    def alloc(self, nbytes: int) -> int:
+        """Reserve ``nbytes`` of uncloaked space; returns its vaddr.
+
+        Rotates through the region, wrapping to the base when the tail
+        is too small.  Only a single allocation larger than the whole
+        region is an error.
+        """
+        if nbytes < 0:
+            raise ValueError("negative marshal allocation")
+        aligned = (nbytes + 15) & ~15
+        if aligned > self.size:
+            raise MemoryError(
+                f"marshal arena too small ({nbytes} bytes requested)"
+            )
+        if self._cursor + aligned > self.base + self.size:
+            self._cursor = self.base
+        vaddr = self._cursor
+        self._cursor += aligned
+        return vaddr
+
+    def fits(self, nbytes: int) -> bool:
+        return nbytes <= self.base + self.size - self._cursor
+
+    @property
+    def chunk_limit(self) -> int:
+        """Largest single allocation the empty arena can satisfy."""
+        return self.size

@@ -1,0 +1,65 @@
+"""Syscall adaptation classes (paper §syscall-interposition).
+
+Every syscall the guest kernel offers falls into one of a few
+adaptation classes; the table below is the reproduction's equivalent
+of the paper's per-syscall adaptation inventory.
+"""
+
+import enum
+
+from repro.guestos.uapi import Syscall
+
+
+class SyscallClass(enum.Enum):
+    #: No pointers, nothing secret: forward unchanged.
+    PASS_THROUGH = "pass-through"
+    #: Copy IN-arguments to the marshal arena and/or OUT-results back.
+    MARSHALLED = "marshalled"
+    #: Never reaches the kernel for protected files: emulated over
+    #: cloaked memory-mapped windows.
+    EMULATED_IO = "emulated-io"
+    #: Needs domain bookkeeping around the kernel call (fork/exec/exit,
+    #: mmap cloaking).
+    SPECIAL = "special"
+
+
+_CLASSIFICATION = {
+    Syscall.EXIT: SyscallClass.SPECIAL,
+    Syscall.GETPID: SyscallClass.PASS_THROUGH,
+    Syscall.GETPPID: SyscallClass.PASS_THROUGH,
+    Syscall.READ: SyscallClass.EMULATED_IO,      # marshalled when uncloaked fd
+    Syscall.WRITE: SyscallClass.EMULATED_IO,     # marshalled when uncloaked fd
+    Syscall.OPEN: SyscallClass.MARSHALLED,
+    Syscall.CLOSE: SyscallClass.EMULATED_IO,
+    Syscall.LSEEK: SyscallClass.EMULATED_IO,
+    Syscall.STAT: SyscallClass.MARSHALLED,
+    Syscall.FSTAT: SyscallClass.EMULATED_IO,
+    Syscall.UNLINK: SyscallClass.MARSHALLED,
+    Syscall.MKDIR: SyscallClass.MARSHALLED,
+    Syscall.MKFIFO: SyscallClass.MARSHALLED,
+    Syscall.READDIR: SyscallClass.MARSHALLED,
+    Syscall.TRUNCATE: SyscallClass.EMULATED_IO,
+    Syscall.MMAP: SyscallClass.SPECIAL,
+    Syscall.MUNMAP: SyscallClass.SPECIAL,
+    Syscall.BRK: SyscallClass.PASS_THROUGH,      # heap range pre-cloaked
+    Syscall.FORK: SyscallClass.SPECIAL,
+    Syscall.EXEC: SyscallClass.SPECIAL,
+    Syscall.WAITPID: SyscallClass.PASS_THROUGH,
+    Syscall.KILL: SyscallClass.PASS_THROUGH,
+    Syscall.SIGACTION: SyscallClass.PASS_THROUGH,
+    Syscall.SIGPROCMASK: SyscallClass.PASS_THROUGH,
+    Syscall.PIPE: SyscallClass.PASS_THROUGH,
+    Syscall.DUP2: SyscallClass.PASS_THROUGH,
+    Syscall.YIELD: SyscallClass.PASS_THROUGH,
+    Syscall.GETTIME: SyscallClass.PASS_THROUGH,
+    Syscall.SYNC: SyscallClass.PASS_THROUGH,
+    Syscall.NANOSLEEP: SyscallClass.PASS_THROUGH,
+    Syscall.THREAD_CREATE: SyscallClass.PASS_THROUGH,
+    Syscall.THREAD_JOIN: SyscallClass.PASS_THROUGH,
+    Syscall.RENAME: SyscallClass.MARSHALLED,
+}
+
+
+def classify(number: Syscall) -> SyscallClass:
+    """Adaptation class of one syscall (PASS_THROUGH if unlisted)."""
+    return _CLASSIFICATION.get(number, SyscallClass.PASS_THROUGH)

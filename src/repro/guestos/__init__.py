@@ -1,0 +1,28 @@
+"""The untrusted commodity guest operating system.
+
+A deliberately conventional kernel: processes with demand-paged
+address spaces, a preemptive round-robin scheduler, a POSIX-flavoured
+syscall layer, a VFS with an in-memory filesystem and block cache,
+pipes, and signals.  It knows nothing about cloaking: it manages
+every page — cloaked or not — through ordinary page tables, which is
+precisely the property Overshadow depends on ("the OS manages
+resources without seeing their contents").
+
+Interaction with the VMM is limited to architectural interfaces a
+real OS has anyway: loading page-table roots, ``invlpg`` after PTE
+edits, and address-space lifecycle events the VMM observes.
+"""
+
+from repro.guestos.kernel import Kernel
+from repro.guestos.process import AddressSpace, Process, ProcessState
+from repro.guestos.scheduler import Scheduler
+from repro.guestos import uapi
+
+__all__ = [
+    "AddressSpace",
+    "Kernel",
+    "Process",
+    "ProcessState",
+    "Scheduler",
+    "uapi",
+]

@@ -1,0 +1,45 @@
+"""Virtual address-space layout for guest processes.
+
+A fixed layout keeps programs, the shim, and the loader in agreement.
+The marshalling and trampoline regions exist for cloaked processes:
+they are deliberately *excluded* from the cloaked ranges so the kernel
+can read syscall arguments from them.
+"""
+
+from repro.hw.params import PAGE_SHIFT, PAGE_SIZE
+
+CODE_BASE = 0x0040_0000
+DATA_BASE = 0x1000_0000
+HEAP_BASE = 0x2000_0000
+MMAP_BASE = 0x4000_0000
+MARSHAL_BASE = 0x6000_0000
+TRAMPOLINE_BASE = 0x6100_0000
+STACK_TOP = 0x7FFF_F000
+
+#: Default sizes, pages.
+CODE_PAGES = 2
+DATA_MAX_PAGES = 4096
+STACK_PAGES = 16
+MARSHAL_PAGES = 8
+TRAMPOLINE_PAGES = 1
+HEAP_MAX_PAGES = 4096
+MMAP_MAX_PAGES = 16384
+
+
+def vpn_of(vaddr: int) -> int:
+    return vaddr >> PAGE_SHIFT
+
+def vaddr_of(vpn: int) -> int:
+    return vpn << PAGE_SHIFT
+
+def pages_spanned(vaddr: int, nbytes: int) -> int:
+    """Number of pages the byte range [vaddr, vaddr+nbytes) touches."""
+    if nbytes == 0:
+        return 0
+    first = vpn_of(vaddr)
+    last = vpn_of(vaddr + nbytes - 1)
+    return last - first + 1
+
+def page_count(nbytes: int) -> int:
+    """Pages needed to hold ``nbytes``."""
+    return (nbytes + PAGE_SIZE - 1) // PAGE_SIZE

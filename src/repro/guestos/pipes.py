@@ -1,0 +1,109 @@
+"""Pipes: bounded in-kernel byte channels with blocking semantics."""
+
+from typing import Optional
+
+from repro.guestos.uapi import WaitChannel
+
+#: Default pipe capacity, bytes (Linux uses 64 KiB; we keep it smaller
+#: so benchmarks actually exercise the blocking paths).
+PIPE_CAPACITY = 16 * 1024
+
+
+class Pipe:
+    """One pipe: a ring of bytes plus reader/writer bookkeeping.
+
+    The syscall layer interprets the sentinel returns: ``None`` from
+    :meth:`read`/:meth:`write` means "would block" (park on the
+    corresponding channel and restart).
+    """
+
+    _next_id = 0
+
+    def __init__(self, capacity: int = PIPE_CAPACITY):
+        Pipe._next_id += 1
+        self.pipe_id = Pipe._next_id
+        self._buffer = bytearray()
+        self.capacity = capacity
+        self.readers = 0
+        self.writers = 0
+        #: EOF is only meaningful once a writer has existed; a FIFO
+        #: reader that arrives first must wait, not see end-of-file.
+        self.ever_had_writer = False
+        self.read_channel = WaitChannel(f"pipe{self.pipe_id}.read")
+        self.write_channel = WaitChannel(f"pipe{self.pipe_id}.write")
+        #: FIFO open(O_WRONLY) parks here until a reader exists.
+        self.open_channel = WaitChannel(f"pipe{self.pipe_id}.open")
+        self.bytes_transferred = 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def space(self) -> int:
+        return self.capacity - len(self._buffer)
+
+    def read(self, size: int) -> Optional[bytes]:
+        """Take up to ``size`` bytes.
+
+        Returns data, or ``b""`` for EOF (no writers, drained), or
+        ``None`` when the caller must block.
+        """
+        if size <= 0:
+            return b""
+        if not self._buffer:
+            if self.writers == 0 and self.ever_had_writer:
+                return b""
+            return None
+        data = bytes(self._buffer[:size])
+        del self._buffer[:size]
+        return data
+
+    def write(self, data: bytes) -> Optional[int]:
+        """Append as much of ``data`` as fits.
+
+        Returns the byte count written (possibly short), ``None`` when
+        full (block), or raises :class:`BrokenPipeError` when no reader
+        remains (the syscall layer turns that into EPIPE + SIGPIPE).
+        """
+        if self.readers == 0:
+            raise BrokenPipeError
+        if not data:
+            return 0
+        if self.space == 0:
+            return None
+        chunk = data[: self.space]
+        self._buffer.extend(chunk)
+        self.bytes_transferred += len(chunk)
+        return len(chunk)
+
+    # -- endpoint lifecycle -----------------------------------------------------
+
+    def add_reader(self) -> None:
+        self.readers += 1
+
+    def add_writer(self) -> None:
+        self.writers += 1
+        self.ever_had_writer = True
+
+    def drop_reader(self) -> None:
+        if self.readers <= 0:
+            raise ValueError("reader underflow")
+        self.readers -= 1
+        self._maybe_quiesce()
+
+    def drop_writer(self) -> None:
+        if self.writers <= 0:
+            raise ValueError("writer underflow")
+        self.writers -= 1
+        self._maybe_quiesce()
+
+    def _maybe_quiesce(self) -> None:
+        """All endpoints closed: a FIFO resets for its next session
+        (unread data is discarded and EOF state clears, per POSIX)."""
+        if self.readers == 0 and self.writers == 0:
+            self._buffer.clear()
+            self.ever_had_writer = False
+
+    def __repr__(self) -> str:
+        return (f"Pipe(#{self.pipe_id}, {len(self._buffer)}/{self.capacity}B, "
+                f"r={self.readers}, w={self.writers})")

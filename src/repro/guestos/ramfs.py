@@ -1,0 +1,167 @@
+"""In-memory filesystem with a disk-backed page cache.
+
+Regular-file data lives in page-cache frames (allocatable to user
+mappings via mmap, which is how the shim's cloaked-file emulation
+works).  Pages can be written back to and evicted to the disk through
+the block cache, so tests and benchmarks can force the
+data-at-rest path.
+"""
+
+import enum
+from typing import Dict, Iterator, List, Optional
+
+from repro.guestos.blockcache import BlockCache
+from repro.hw.cycles import CycleAccount
+from repro.hw.params import CostTable, PAGE_SIZE
+from repro.hw.phys import FrameAllocator, PhysicalMemory
+
+
+class InodeType(enum.Enum):
+    REGULAR = "regular"
+    DIRECTORY = "directory"
+    FIFO = "fifo"
+    DEVICE = "device"
+
+
+class Inode:
+    """One filesystem object."""
+
+    __slots__ = ("inode_id", "itype", "size", "pages", "entries", "nlink",
+                 "pipe", "device")
+
+    def __init__(self, inode_id: int, itype: InodeType):
+        self.inode_id = inode_id
+        self.itype = itype
+        self.size = 0
+        #: page index -> page-cache pfn (REGULAR only).
+        self.pages: Dict[int, int] = {}
+        #: name -> inode_id (DIRECTORY only).
+        self.entries: Dict[str, int] = {}
+        self.nlink = 1
+        #: FIFO: lazily attached Pipe object.
+        self.pipe = None
+        #: DEVICE: device name ("console", "null").
+        self.device: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return f"Inode({self.inode_id}, {self.itype.value}, size={self.size})"
+
+
+class RamFS:
+    """Inode store + data path.  Path logic lives in the VFS layer."""
+
+    def __init__(self, phys: PhysicalMemory, alloc: FrameAllocator,
+                 cache: BlockCache, cycles: CycleAccount, costs: CostTable):
+        self._phys = phys
+        self._alloc = alloc
+        self._cache = cache
+        self._cycles = cycles
+        self._costs = costs
+        self._inodes: Dict[int, Inode] = {}
+        self._next_id = 1
+        self.root = self.new_inode(InodeType.DIRECTORY)
+
+    # -- inode lifecycle ------------------------------------------------------
+
+    def new_inode(self, itype: InodeType) -> Inode:
+        inode = Inode(self._next_id, itype)
+        self._next_id += 1
+        self._inodes[inode.inode_id] = inode
+        return inode
+
+    def get(self, inode_id: int) -> Inode:
+        return self._inodes[inode_id]
+
+    def maybe_get(self, inode_id: int) -> Optional[Inode]:
+        return self._inodes.get(inode_id)
+
+    def drop_inode(self, inode: Inode) -> None:
+        for pfn in inode.pages.values():
+            self._alloc.free(pfn)
+        inode.pages.clear()
+        self._cache.drop_file(inode.inode_id)
+        del self._inodes[inode.inode_id]
+
+    def all_inodes(self) -> Iterator[Inode]:
+        return iter(list(self._inodes.values()))
+
+    # -- page cache ---------------------------------------------------------------
+
+    def page_frame(self, inode: Inode, page_index: int, create: bool = True) -> Optional[int]:
+        """The page-cache frame for one file page, paging it in from
+        disk (or allocating fresh) as needed."""
+        pfn = inode.pages.get(page_index)
+        if pfn is not None:
+            return pfn
+        if not create:
+            return None
+        pfn = self._alloc.alloc()
+        self._cache.readin_page(inode.inode_id, page_index, pfn)
+        inode.pages[page_index] = pfn
+        return pfn
+
+    def writeback(self, inode: Inode) -> int:
+        """Flush all resident pages of a file to disk."""
+        count = 0
+        for page_index, pfn in sorted(inode.pages.items()):
+            self._cache.writeback_page(inode.inode_id, page_index, pfn)
+            count += 1
+        return count
+
+    def evict(self, inode: Inode) -> int:
+        """Write back and drop every resident page (memory pressure)."""
+        count = self.writeback(inode)
+        for pfn in inode.pages.values():
+            self._alloc.free(pfn)
+        inode.pages.clear()
+        return count
+
+    # -- byte-granular data path ------------------------------------------------
+
+    def read(self, inode: Inode, offset: int, size: int) -> bytes:
+        if inode.itype is not InodeType.REGULAR:
+            raise ValueError("read from non-regular inode")
+        if offset >= inode.size or size <= 0:
+            return b""
+        size = min(size, inode.size - offset)
+        chunks: List[bytes] = []
+        cursor = offset
+        remaining = size
+        while remaining > 0:
+            page_index, page_off = divmod(cursor, PAGE_SIZE)
+            length = min(PAGE_SIZE - page_off, remaining)
+            pfn = self.page_frame(inode, page_index)
+            chunks.append(self._phys.read(pfn, page_off, length))
+            cursor += length
+            remaining -= length
+        self._cycles.charge("kernel", self._costs.copy_cost(size))
+        return b"".join(chunks)
+
+    def write(self, inode: Inode, offset: int, data: bytes) -> int:
+        if inode.itype is not InodeType.REGULAR:
+            raise ValueError("write to non-regular inode")
+        cursor = offset
+        pos = 0
+        while pos < len(data):
+            page_index, page_off = divmod(cursor, PAGE_SIZE)
+            length = min(PAGE_SIZE - page_off, len(data) - pos)
+            pfn = self.page_frame(inode, page_index)
+            self._phys.write(pfn, page_off, data[pos : pos + length])
+            cursor += length
+            pos += length
+        inode.size = max(inode.size, offset + len(data))
+        self._cycles.charge("kernel", self._costs.copy_cost(len(data)))
+        return len(data)
+
+    def truncate(self, inode: Inode, new_size: int) -> None:
+        if new_size < inode.size:
+            first_dead_page = (new_size + PAGE_SIZE - 1) // PAGE_SIZE
+            for page_index in [p for p in inode.pages if p >= first_dead_page]:
+                self._alloc.free(inode.pages.pop(page_index))
+            # Zero the tail of the last kept page so stale bytes never
+            # reappear if the file grows again.
+            if new_size % PAGE_SIZE and (new_size // PAGE_SIZE) in inode.pages:
+                pfn = inode.pages[new_size // PAGE_SIZE]
+                tail = new_size % PAGE_SIZE
+                self._phys.write(pfn, tail, bytes(PAGE_SIZE - tail))
+        inode.size = new_size

@@ -1,0 +1,260 @@
+"""File syscalls: open/close/read/write/seek/stat and friends.
+
+Handler convention: ``fn(kernel, proc, args, extra)`` returning the
+user-visible result (negative errno on failure) or ``Blocked``.
+"""
+
+from typing import Dict
+
+from repro.guestos import uapi
+from repro.guestos.process import OpenFile, Process
+from repro.guestos.ramfs import InodeType
+from repro.guestos.uapi import Blocked, Syscall
+from repro.guestos.vfs import VFSError
+
+
+def sys_open(kernel, proc: Process, args, extra):
+    path_vaddr, path_len, flags = args
+    path = kernel.read_user_string(proc, path_vaddr, path_len)
+    try:
+        inode = kernel.vfs.resolve(path)
+    except VFSError as exc:
+        if exc.errno != uapi.ENOENT or not flags & uapi.O_CREAT:
+            return -exc.errno
+        inode = kernel.vfs.create_file(path)
+
+    if inode.itype is InodeType.DIRECTORY:
+        if flags & uapi.O_ACCMODE != uapi.O_RDONLY:
+            return -uapi.EISDIR
+        open_file = OpenFile(OpenFile.REGULAR, inode.inode_id, flags)
+    elif inode.itype is InodeType.DEVICE:
+        kind = OpenFile.CONSOLE if inode.device == "console" else OpenFile.NULL
+        open_file = OpenFile(kind, inode.inode_id, flags)
+    elif inode.itype is InodeType.FIFO:
+        pipe = inode.pipe
+        if flags & uapi.O_ACCMODE == uapi.O_RDONLY:
+            pipe.add_reader()
+            # A reader's arrival unblocks writers parked in open(2).
+            kernel.wake_channel(pipe.open_channel)
+            open_file = OpenFile(OpenFile.PIPE_R, inode.inode_id, flags, pipe)
+        else:
+            if pipe.readers == 0:
+                # POSIX FIFO semantics (one-sided to stay restartable):
+                # opening for write blocks until a reader exists.
+                return Blocked(pipe.open_channel)
+            pipe.add_writer()
+            # Readers parked before any writer existed can proceed.
+            kernel.wake_channel(pipe.read_channel)
+            open_file = OpenFile(OpenFile.PIPE_W, inode.inode_id, flags, pipe)
+    else:
+        if flags & uapi.O_TRUNC and flags & uapi.O_ACCMODE != uapi.O_RDONLY:
+            kernel.fs.truncate(inode, 0)
+        open_file = OpenFile(OpenFile.REGULAR, inode.inode_id, flags)
+    return proc.alloc_fd(open_file)
+
+
+def sys_close(kernel, proc: Process, args, extra):
+    (fd,) = args
+    return kernel._close_fd(proc, fd)
+
+
+def sys_read(kernel, proc: Process, args, extra):
+    fd, buf_vaddr, nbytes = args
+    open_file = proc.fd(fd)
+    if open_file is None:
+        return -uapi.EBADF
+    if nbytes < 0:
+        return -uapi.EINVAL
+
+    if open_file.kind == OpenFile.REGULAR:
+        inode = kernel.fs.get(open_file.inode_id)
+        if inode.itype is InodeType.DIRECTORY:
+            return -uapi.EISDIR
+        data = kernel.fs.read(inode, open_file.offset, nbytes)
+        kernel.copy_to_user(proc, buf_vaddr, data)
+        open_file.offset += len(data)
+        return len(data)
+    if open_file.kind in (OpenFile.CONSOLE, OpenFile.NULL):
+        return 0  # no console input stream
+    if open_file.kind == OpenFile.PIPE_R:
+        data = open_file.pipe.read(nbytes)
+        if data is None:
+            return Blocked(open_file.pipe.read_channel)
+        kernel.copy_to_user(proc, buf_vaddr, data)
+        kernel.wake_channel(open_file.pipe.write_channel)
+        return len(data)
+    return -uapi.EBADF
+
+
+def sys_write(kernel, proc: Process, args, extra):
+    fd, buf_vaddr, nbytes = args
+    open_file = proc.fd(fd)
+    if open_file is None:
+        return -uapi.EBADF
+    if nbytes < 0:
+        return -uapi.EINVAL
+
+    if open_file.kind == OpenFile.CONSOLE:
+        data = kernel.copy_from_user(proc, buf_vaddr, nbytes)
+        kernel.console.write(proc.pid, data)
+        return nbytes
+    if open_file.kind == OpenFile.NULL:
+        return nbytes
+    if open_file.kind == OpenFile.REGULAR:
+        if open_file.flags & uapi.O_ACCMODE == uapi.O_RDONLY:
+            return -uapi.EACCES
+        inode = kernel.fs.get(open_file.inode_id)
+        data = kernel.copy_from_user(proc, buf_vaddr, nbytes)
+        offset = inode.size if open_file.flags & uapi.O_APPEND else open_file.offset
+        written = kernel.fs.write(inode, offset, data)
+        open_file.offset = offset + written
+        return written
+    if open_file.kind == OpenFile.PIPE_W:
+        pipe = open_file.pipe
+        data = kernel.copy_from_user(proc, buf_vaddr, nbytes)
+        try:
+            written = pipe.write(data)
+        except BrokenPipeError:
+            kernel.post_signal(proc, uapi.SIGPIPE)
+            return -uapi.EPIPE
+        if written is None:
+            return Blocked(pipe.write_channel)
+        kernel.wake_channel(pipe.read_channel)
+        return written
+    return -uapi.EBADF
+
+
+def sys_lseek(kernel, proc: Process, args, extra):
+    fd, offset, whence = args
+    open_file = proc.fd(fd)
+    if open_file is None:
+        return -uapi.EBADF
+    if open_file.kind != OpenFile.REGULAR:
+        return -uapi.ESPIPE
+    inode = kernel.fs.get(open_file.inode_id)
+    if whence == uapi.SEEK_SET:
+        new = offset
+    elif whence == uapi.SEEK_CUR:
+        new = open_file.offset + offset
+    elif whence == uapi.SEEK_END:
+        new = inode.size + offset
+    else:
+        return -uapi.EINVAL
+    if new < 0:
+        return -uapi.EINVAL
+    open_file.offset = new
+    return new
+
+
+def sys_stat(kernel, proc: Process, args, extra):
+    path_vaddr, path_len = args
+    path = kernel.read_user_string(proc, path_vaddr, path_len)
+    inode = kernel.vfs.resolve(path)
+    return kernel.vfs.stat(inode)
+
+
+def sys_fstat(kernel, proc: Process, args, extra):
+    (fd,) = args
+    open_file = proc.fd(fd)
+    if open_file is None:
+        return -uapi.EBADF
+    if open_file.inode_id is None:
+        return (uapi.S_IFIFO, 0, 0)
+    inode = kernel.fs.maybe_get(open_file.inode_id)
+    if inode is None:
+        return -uapi.EBADF
+    return kernel.vfs.stat(inode)
+
+
+def sys_unlink(kernel, proc: Process, args, extra):
+    path_vaddr, path_len = args
+    path = kernel.read_user_string(proc, path_vaddr, path_len)
+    kernel.vfs.unlink(path)
+    return 0
+
+
+def sys_mkdir(kernel, proc: Process, args, extra):
+    path_vaddr, path_len = args
+    path = kernel.read_user_string(proc, path_vaddr, path_len)
+    kernel.vfs.mkdir(path)
+    return 0
+
+
+def sys_mkfifo(kernel, proc: Process, args, extra):
+    path_vaddr, path_len = args
+    path = kernel.read_user_string(proc, path_vaddr, path_len)
+    kernel.vfs.mkfifo(path)
+    return 0
+
+
+def sys_rename(kernel, proc: Process, args, extra):
+    old_vaddr, old_len, new_vaddr, new_len = args
+    old_path = kernel.read_user_string(proc, old_vaddr, old_len)
+    new_path = kernel.read_user_string(proc, new_vaddr, new_len)
+    kernel.vfs.rename(old_path, new_path)
+    return 0
+
+
+def sys_readdir(kernel, proc: Process, args, extra):
+    path_vaddr, path_len, buf_vaddr, buf_len = args
+    path = kernel.read_user_string(proc, path_vaddr, path_len)
+    names = kernel.vfs.readdir(path)
+    blob = b"\x00".join(name.encode() for name in names)
+    if len(blob) > buf_len:
+        return -uapi.EINVAL
+    kernel.copy_to_user(proc, buf_vaddr, blob)
+    return len(blob)
+
+
+def sys_truncate(kernel, proc: Process, args, extra):
+    fd, size = args
+    open_file = proc.fd(fd)
+    if open_file is None or open_file.kind != OpenFile.REGULAR:
+        return -uapi.EBADF
+    if size < 0:
+        return -uapi.EINVAL
+    inode = kernel.fs.get(open_file.inode_id)
+    kernel.fs.truncate(inode, size)
+    return 0
+
+
+def sys_sync(kernel, proc: Process, args, extra):
+    count = 0
+    for inode in kernel.fs.all_inodes():
+        if inode.itype is InodeType.REGULAR:
+            count += kernel.fs.writeback(inode)
+    return count
+
+
+def sys_dup2(kernel, proc: Process, args, extra):
+    old_fd, new_fd = args
+    open_file = proc.fd(old_fd)
+    if open_file is None or new_fd < 0:
+        return -uapi.EBADF
+    if new_fd == old_fd:
+        return new_fd
+    if new_fd in proc.fds:
+        kernel._close_fd(proc, new_fd)
+    open_file.refcount += 1
+    proc.fds[new_fd] = open_file
+    return new_fd
+
+
+def handlers() -> Dict[Syscall, callable]:
+    return {
+        Syscall.OPEN: sys_open,
+        Syscall.CLOSE: sys_close,
+        Syscall.READ: sys_read,
+        Syscall.WRITE: sys_write,
+        Syscall.LSEEK: sys_lseek,
+        Syscall.STAT: sys_stat,
+        Syscall.FSTAT: sys_fstat,
+        Syscall.UNLINK: sys_unlink,
+        Syscall.MKDIR: sys_mkdir,
+        Syscall.MKFIFO: sys_mkfifo,
+        Syscall.READDIR: sys_readdir,
+        Syscall.RENAME: sys_rename,
+        Syscall.TRUNCATE: sys_truncate,
+        Syscall.SYNC: sys_sync,
+        Syscall.DUP2: sys_dup2,
+    }

@@ -1,0 +1,23 @@
+"""IPC syscalls: anonymous pipes."""
+
+from typing import Dict
+
+from repro.guestos.pipes import Pipe
+from repro.guestos.process import OpenFile, Process
+from repro.guestos.uapi import Syscall
+
+
+def sys_pipe(kernel, proc: Process, args, extra):
+    """Create a pipe; returns (read_fd, write_fd)."""
+    pipe = Pipe()
+    pipe.add_reader()
+    pipe.add_writer()
+    read_fd = proc.alloc_fd(OpenFile(OpenFile.PIPE_R, pipe=pipe))
+    write_fd = proc.alloc_fd(OpenFile(OpenFile.PIPE_W, pipe=pipe))
+    return (read_fd, write_fd)
+
+
+def handlers() -> Dict[Syscall, callable]:
+    return {
+        Syscall.PIPE: sys_pipe,
+    }

@@ -1,0 +1,100 @@
+"""Memory-management syscalls: mmap/munmap/brk."""
+
+from typing import Dict
+
+from repro.guestos import layout, uapi
+from repro.guestos.process import OpenFile, Process, VMA
+from repro.guestos.ramfs import InodeType
+from repro.guestos.uapi import Syscall
+from repro.hw.params import PAGE_SIZE
+
+
+def sys_mmap(kernel, proc: Process, args, extra):
+    length, prot, flags, fd, offset = args
+    if length <= 0 or offset % PAGE_SIZE:
+        return -uapi.EINVAL
+    npages = layout.page_count(length)
+    writable = bool(prot & uapi.PROT_WRITE)
+
+    if flags & uapi.MAP_ANON:
+        vaddr = proc.aspace.alloc_mmap_region(npages)
+        proc.aspace.add_vma(VMA(layout.vpn_of(vaddr), npages,
+                                writable=writable, label="mmap-anon"))
+        return vaddr
+
+    open_file = proc.fd(fd)
+    if open_file is None or open_file.kind != OpenFile.REGULAR:
+        return -uapi.EBADF
+    inode = kernel.fs.get(open_file.inode_id)
+    if inode.itype is not InodeType.REGULAR:
+        return -uapi.EACCES
+    vaddr = proc.aspace.alloc_mmap_region(npages)
+    proc.aspace.add_vma(VMA(
+        layout.vpn_of(vaddr), npages,
+        writable=writable,
+        kind=VMA.FILE,
+        inode_id=inode.inode_id,
+        file_page=offset // PAGE_SIZE,
+        shared=bool(flags & uapi.MAP_SHARED),
+        label="mmap-file",
+    ))
+    return vaddr
+
+
+def sys_munmap(kernel, proc: Process, args, extra):
+    vaddr, length = args
+    if vaddr % PAGE_SIZE or length <= 0:
+        return -uapi.EINVAL
+    start_vpn = layout.vpn_of(vaddr)
+    vma = proc.aspace.remove_vma(start_vpn)
+    if vma is None:
+        return -uapi.EINVAL
+    for vpn in range(vma.start_vpn, vma.end_vpn):
+        pfn = proc.aspace.unmap_page(vpn)
+        if pfn is not None and vma.kind == VMA.ANON:
+            kernel.alloc.free(pfn)
+        # FILE pages belong to the page cache; the frame stays.
+    return 0
+
+
+def sys_brk(kernel, proc: Process, args, extra):
+    (new_brk,) = args
+    aspace = proc.aspace
+    if new_brk == 0:
+        return aspace.brk_vaddr
+    if new_brk < layout.HEAP_BASE:
+        return -uapi.EINVAL
+    limit = layout.HEAP_BASE + layout.HEAP_MAX_PAGES * PAGE_SIZE
+    if new_brk > limit:
+        return -uapi.ENOMEM
+
+    old_end_vpn = layout.vpn_of(layout.vaddr_of(
+        layout.page_count(aspace.brk_vaddr - layout.HEAP_BASE))
+        + layout.HEAP_BASE) if aspace.brk_vaddr > layout.HEAP_BASE else layout.vpn_of(layout.HEAP_BASE)
+    new_pages = layout.page_count(new_brk - layout.HEAP_BASE)
+    heap_vma = aspace.find_vma(layout.vpn_of(layout.HEAP_BASE))
+
+    if new_brk > aspace.brk_vaddr:
+        if heap_vma is None:
+            aspace.add_vma(VMA(layout.vpn_of(layout.HEAP_BASE),
+                               max(new_pages, 1), label="heap"))
+        elif new_pages > heap_vma.npages:
+            heap_vma.npages = new_pages
+    elif new_brk < aspace.brk_vaddr and heap_vma is not None:
+        # Shrink: release pages beyond the new break.
+        keep = max(new_pages, 1)
+        for vpn in range(heap_vma.start_vpn + keep, heap_vma.end_vpn):
+            pfn = aspace.unmap_page(vpn)
+            if pfn is not None:
+                kernel.alloc.free(pfn)
+        heap_vma.npages = keep
+    aspace.brk_vaddr = new_brk
+    return new_brk
+
+
+def handlers() -> Dict[Syscall, callable]:
+    return {
+        Syscall.MMAP: sys_mmap,
+        Syscall.MUNMAP: sys_munmap,
+        Syscall.BRK: sys_brk,
+    }

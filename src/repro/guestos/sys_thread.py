@@ -1,0 +1,66 @@
+"""Thread syscalls: create/join within a process.
+
+Threads share the address space, fd table, and signal dispositions of
+their group leader; each has its own schedulable task, register state,
+and — for cloaked processes — its own cloaked thread context in the
+VMM (the paper's design keeps one CTC per thread precisely so that
+multithreaded applications work unmodified).
+"""
+
+from typing import Dict
+
+from repro.guestos import uapi
+from repro.guestos.process import Process, ProcessState
+from repro.guestos.uapi import Blocked, Syscall
+
+
+def sys_thread_create(kernel, proc: Process, args, extra):
+    """Create a thread of the calling process.
+
+    ``extra`` carries (entry, args) for the runtime layer, like fork.
+    Returns the new tid.
+    """
+    if extra is None:
+        return -uapi.EINVAL
+    entry, thread_args = extra
+
+    tid = kernel._next_pid
+    kernel._next_pid += 1
+    thread_runtime = proc.runtime.make_thread(entry, thread_args)
+    thread = Process(tid, proc.pid, f"{proc.name}", proc.aspace,
+                     thread_runtime, cloaked=proc.cloaked, tgid=proc.tgid)
+    thread.spawned_at = kernel.cycles.total
+    # Shared, not copied: the very definition of a thread.
+    thread.fds = proc.fds
+    thread.signal_handlers = proc.signal_handlers
+    thread.cwd = proc.cwd
+    thread_runtime.start_child(tid)
+
+    # Architectural event: the VMM observes the new thread and binds
+    # it to the creator's protection domain (same domain — this is a
+    # thread, not a fork).
+    kernel.arch.notify_thread_spawn(proc.pid, tid)
+
+    kernel.processes[tid] = thread
+    proc.children.append(tid)
+    kernel.scheduler.enqueue(thread)
+    kernel.stats.bump("kernel.threads_created")
+    return tid
+
+
+def sys_thread_join(kernel, proc: Process, args, extra):
+    """Wait for one thread of this group; returns (tid, exit code)."""
+    (tid,) = args
+    target = kernel.processes.get(tid)
+    if target is None or target.tgid != proc.tgid or tid not in proc.children:
+        return -uapi.ESRCH
+    if target.state is ProcessState.ZOMBIE:
+        return kernel.reap(target)
+    return Blocked(kernel.child_channel(proc.pid))
+
+
+def handlers() -> Dict[Syscall, callable]:
+    return {
+        Syscall.THREAD_CREATE: sys_thread_create,
+        Syscall.THREAD_JOIN: sys_thread_join,
+    }

@@ -1,0 +1,267 @@
+"""User-facing kernel ABI: syscall numbers, errno, flags, and the
+user-operation protocol.
+
+Guest programs execute as generators yielding :class:`UserOp` objects;
+the machine loop performs each op (charging virtual cycles, taking
+faults, trapping into the kernel for syscalls) and sends the result
+back into the generator.  Both the kernel and application code import
+this module — it is the ABI boundary, like ``<unistd.h>``.
+
+Buffer-carrying syscalls pass *virtual addresses*, and the kernel
+copies through the MMU in system view.  This is not a stylistic
+choice: it is the load-bearing detail that makes cloaking semantics
+observable (a kernel copy from a cloaked buffer yields ciphertext,
+which is why the shim must marshal).
+"""
+
+import enum
+
+
+class Syscall(enum.IntEnum):
+    """Syscall numbers."""
+
+    EXIT = 1
+    GETPID = 2
+    GETPPID = 3
+    READ = 4
+    WRITE = 5
+    OPEN = 6
+    CLOSE = 7
+    LSEEK = 8
+    STAT = 9
+    FSTAT = 10
+    UNLINK = 11
+    MKDIR = 12
+    READDIR = 13
+    TRUNCATE = 14
+    MMAP = 15
+    MUNMAP = 16
+    BRK = 17
+    FORK = 18
+    EXEC = 19
+    WAITPID = 20
+    KILL = 21
+    SIGACTION = 22
+    SIGPROCMASK = 23
+    PIPE = 24
+    DUP2 = 25
+    YIELD = 26
+    GETTIME = 27
+    SYNC = 28
+    MKFIFO = 29
+    NANOSLEEP = 30
+    THREAD_CREATE = 31
+    THREAD_JOIN = 32
+    RENAME = 33
+
+
+# -- errno values (returned as negative numbers) -----------------------------
+
+EPERM = 1
+ENOENT = 2
+ESRCH = 3
+EINTR = 4
+EBADF = 9
+ECHILD = 10
+EAGAIN = 11
+ENOMEM = 12
+EACCES = 13
+EFAULT = 14
+EEXIST = 17
+ENOTDIR = 20
+EISDIR = 21
+EINVAL = 22
+EMFILE = 24
+ESPIPE = 29
+EPIPE = 32
+ENOSYS = 38
+ENOTEMPTY = 39
+
+ERRNO_NAMES = {
+    EPERM: "EPERM", ENOENT: "ENOENT", ESRCH: "ESRCH", EINTR: "EINTR",
+    EBADF: "EBADF", ECHILD: "ECHILD", EAGAIN: "EAGAIN", ENOMEM: "ENOMEM",
+    EACCES: "EACCES", EFAULT: "EFAULT", EEXIST: "EEXIST", ENOTDIR: "ENOTDIR",
+    EISDIR: "EISDIR", EINVAL: "EINVAL", EMFILE: "EMFILE", ESPIPE: "ESPIPE",
+    EPIPE: "EPIPE", ENOSYS: "ENOSYS", ENOTEMPTY: "ENOTEMPTY",
+}
+
+
+def errno_name(code: int) -> str:
+    return ERRNO_NAMES.get(abs(code), f"E#{abs(code)}")
+
+
+# -- open(2) flags -------------------------------------------------------------
+
+O_RDONLY = 0x0
+O_WRONLY = 0x1
+O_RDWR = 0x2
+O_ACCMODE = 0x3
+O_CREAT = 0x40
+O_TRUNC = 0x200
+O_APPEND = 0x400
+
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+# -- mmap(2) flags ---------------------------------------------------------------
+
+PROT_READ = 0x1
+PROT_WRITE = 0x2
+MAP_PRIVATE = 0x02
+MAP_SHARED = 0x01
+MAP_ANON = 0x20
+
+# -- signals -----------------------------------------------------------------------
+
+SIGKILL = 9
+SIGSEGV = 11
+SIGPIPE = 13
+SIGTERM = 15
+SIGCHLD = 17
+SIGUSR1 = 10
+SIGUSR2 = 12
+
+#: Default-action classification.
+FATAL_SIGNALS = frozenset({SIGKILL, SIGSEGV, SIGPIPE, SIGTERM})
+IGNORED_SIGNALS = frozenset({SIGCHLD})
+
+SIG_DFL = 0
+SIG_IGN = 1
+
+#: File descriptor conventions.
+STDIN_FD = 0
+STDOUT_FD = 1
+STDERR_FD = 2
+
+#: stat(2) result file types.
+S_IFREG = 1
+S_IFDIR = 2
+S_IFIFO = 3
+S_IFCHR = 4
+
+
+# -- the user-operation protocol -----------------------------------------------------
+
+
+class UserOp:
+    """Base class for operations a user runtime yields to the machine."""
+
+    __slots__ = ()
+
+
+class Alu(UserOp):
+    """Pure compute: ``units`` cycles of application work."""
+
+    __slots__ = ("units",)
+
+    def __init__(self, units: int):
+        self.units = units
+
+
+class Load(UserOp):
+    """Read ``size`` bytes of user memory at ``vaddr``; result: bytes."""
+
+    __slots__ = ("vaddr", "size")
+
+    def __init__(self, vaddr: int, size: int):
+        self.vaddr = vaddr
+        self.size = size
+
+
+class Store(UserOp):
+    """Write ``data`` to user memory at ``vaddr``; result: None."""
+
+    __slots__ = ("vaddr", "data")
+
+    def __init__(self, vaddr: int, data: bytes):
+        self.vaddr = vaddr
+        self.data = data
+
+
+class Copy(UserOp):
+    """User-level memcpy of ``nbytes`` from ``src`` to ``dst``."""
+
+    __slots__ = ("src", "dst", "nbytes")
+
+    def __init__(self, src: int, dst: int, nbytes: int):
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+
+
+class SyscallOp(UserOp):
+    """Trap into the guest kernel.
+
+    ``extra`` carries runtime-level payload the kernel never sees
+    (e.g. the child entry callable for fork, argv for exec); it models
+    state that lives in the application's own (cloaked) memory.
+    """
+
+    __slots__ = ("number", "args", "extra")
+
+    def __init__(self, number: Syscall, args: tuple = (), extra=None):
+        self.number = number
+        self.args = args
+        self.extra = extra
+
+
+class HypercallOp(UserOp):
+    """Call the VMM directly (shim use only); invisible to the kernel."""
+
+    __slots__ = ("number", "args")
+
+    def __init__(self, number, args: tuple = ()):
+        self.number = number
+        self.args = args
+
+
+class SetReg(UserOp):
+    """Place a value in an architectural register (secrets for the
+    register-scrubbing tests, syscall argument staging)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int):
+        self.name = name
+        self.value = value
+
+
+class GetReg(UserOp):
+    """Read an architectural register; result: int."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class Blocked:
+    """Returned by a syscall handler that must wait; the process parks
+    on ``channel`` and the syscall restarts after :meth:`wake`."""
+
+    __slots__ = ("channel",)
+
+    def __init__(self, channel: "WaitChannel"):
+        self.channel = channel
+
+
+class WaitChannel:
+    """A named rendezvous point processes can sleep on."""
+
+    __slots__ = ("name", "_waiters")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._waiters = []
+
+    def add(self, proc) -> None:
+        if proc not in self._waiters:
+            self._waiters.append(proc)
+
+    def take_all(self):
+        waiters, self._waiters = self._waiters, []
+        return waiters
+
+    def __repr__(self) -> str:
+        return f"WaitChannel({self.name}, waiters={len(self._waiters)})"

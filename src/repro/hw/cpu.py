@@ -1,0 +1,113 @@
+"""Virtual CPU: register file, privilege mode, and trap bookkeeping.
+
+Program *logic* in this simulation executes as Python generators (see
+:mod:`repro.apps.program`), so the CPU does not fetch-decode-execute.
+What it does model is everything Overshadow's protection argument
+touches: an architectural register file that traps expose to the
+kernel (and that the VMM must scrub), privilege modes, the current
+address-space/view pair selecting translations, and cycle charging for
+compute.
+"""
+
+import enum
+from typing import Dict, List
+
+from repro.hw.cycles import CycleAccount
+from repro.hw.mmu import MMU, MODE_KERNEL, MODE_USER, SYSTEM_VIEW
+from repro.hw.params import CostTable
+
+#: Architectural general-purpose register names.  By convention,
+#: ``r0``..``r5`` carry syscall/hypercall arguments, ``r0`` the return
+#: value; the rest are scratch the application may keep secrets in.
+GP_REGISTERS = ("r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7")
+SPECIAL_REGISTERS = ("pc", "sp")
+ALL_REGISTERS = GP_REGISTERS + SPECIAL_REGISTERS
+
+
+class CPUMode(enum.Enum):
+    USER = MODE_USER
+    KERNEL = MODE_KERNEL
+
+
+class RegisterFile:
+    """The architectural registers visible at a trap."""
+
+    def __init__(self) -> None:
+        self._regs: Dict[str, int] = {name: 0 for name in ALL_REGISTERS}
+
+    def __getitem__(self, name: str) -> int:
+        return self._regs[name]
+
+    def __setitem__(self, name: str, value: int) -> None:
+        if name not in self._regs:
+            raise KeyError(f"no register {name!r}")
+        self._regs[name] = value & 0xFFFFFFFFFFFFFFFF
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._regs)
+
+    def load(self, values: Dict[str, int]) -> None:
+        for name in ALL_REGISTERS:
+            self._regs[name] = values.get(name, 0)
+
+    def scrub(self, keep: List[str] = ()) -> None:
+        """Zero every register not listed in ``keep``.
+
+        This is what the VMM does on an uncontrolled transfer out of a
+        cloaked context: the kernel sees only the registers it is
+        entitled to (e.g. syscall arguments on an intentional call).
+        """
+        for name in self._regs:
+            if name not in keep:
+                self._regs[name] = 0
+
+    def __repr__(self) -> str:
+        return "RegisterFile(" + ", ".join(
+            f"{n}={v:#x}" for n, v in self._regs.items() if v
+        ) + ")"
+
+
+class VirtualCPU:
+    """One simulated CPU, bound to an MMU and a cycle account."""
+
+    def __init__(self, mmu: MMU, cycles: CycleAccount, costs: CostTable):
+        self.mmu = mmu
+        self.cycles = cycles
+        self._costs = costs
+        self.regs = RegisterFile()
+        self.mode = CPUMode.KERNEL
+        self.asid = 0
+        self.view = SYSTEM_VIEW
+        self.trap_count = 0
+        self.interrupt_count = 0
+
+    # -- context switching ---------------------------------------------------
+
+    def enter_context(self, asid: int, view: int, mode: CPUMode) -> None:
+        """Set the (address space, view, privilege) the CPU runs under."""
+        self.asid = asid
+        self.view = view
+        self.mode = mode
+        self.mmu.set_context(asid, view, mode.value)
+
+    def enter_kernel(self) -> None:
+        """Ring crossing into the guest kernel (view becomes SYSTEM)."""
+        self.mode = CPUMode.KERNEL
+        self.view = SYSTEM_VIEW
+        self.mmu.set_context(self.asid, SYSTEM_VIEW, MODE_KERNEL)
+
+    # -- costs ----------------------------------------------------------------
+
+    def execute(self, units: int) -> None:
+        """Charge ``units`` of application compute."""
+        if units < 0:
+            raise ValueError("negative compute")
+        self.cycles.charge("user", units * self._costs.alu)
+
+    def trap_cost(self) -> None:
+        self.trap_count += 1
+        self.cycles.charge("kernel", self._costs.trap)
+
+    def interrupt_cost(self) -> None:
+        self.interrupt_count += 1
+        self.cycles.charge("kernel", self._costs.interrupt)

@@ -1,0 +1,66 @@
+"""Block device backing the guest filesystem.
+
+Transfers are whole blocks and charge a fixed per-block cost to the
+``disk`` cycle category.  Data moves directly between the device and
+guest-physical frames (DMA-style) via the buffer cache; it never
+transits the MMU, so cloaked pages written to disk stay exactly as the
+kernel saw them — ciphertext.
+"""
+
+from typing import List, Optional
+
+from repro.hw.cycles import CycleAccount
+from repro.hw.params import CostTable
+
+
+class Disk:
+    """A fixed-size array of blocks."""
+
+    def __init__(
+        self,
+        num_blocks: int,
+        block_size: int,
+        cycles: Optional[CycleAccount] = None,
+        costs: Optional[CostTable] = None,
+    ):
+        if num_blocks <= 0 or block_size <= 0:
+            raise ValueError("disk geometry must be positive")
+        self._block_size = block_size
+        self._blocks: List[Optional[bytes]] = [None] * num_blocks
+        self._cycles = cycles
+        self._costs = costs
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    def _charge(self) -> None:
+        if self._cycles is not None and self._costs is not None:
+            self._cycles.charge("disk", self._costs.disk_block)
+
+    def read_block(self, lba: int) -> bytes:
+        if not 0 <= lba < len(self._blocks):
+            raise IndexError(f"bad block {lba}")
+        self.reads += 1
+        self._charge()
+        data = self._blocks[lba]
+        if data is None:
+            return bytes(self._block_size)
+        return data
+
+    def write_block(self, lba: int, data: bytes) -> None:
+        if not 0 <= lba < len(self._blocks):
+            raise IndexError(f"bad block {lba}")
+        if len(data) != self._block_size:
+            raise ValueError(
+                f"block write must be exactly {self._block_size} bytes, got {len(data)}"
+            )
+        self.writes += 1
+        self._charge()
+        self._blocks[lba] = bytes(data)

@@ -1,0 +1,226 @@
+"""Guest page tables, stored in guest-physical memory.
+
+The format is a simplified x86-style two-level table: a root page
+(analogous to the page directory named by CR3) of 1024 entries, each
+naming a second-level table page of 1024 entries, each mapping one
+4 KiB page.  Entries are 32-bit little-endian words::
+
+    bits 31..12   page frame number
+    bit 4         DIRTY     (set by hardware on write)
+    bit 3         ACCESSED  (set by hardware on any access)
+    bit 2         USER      (user mode may access)
+    bit 1         WRITE     (writes allowed)
+    bit 0         PRESENT
+
+Keeping the tables in simulated physical memory (rather than in Python
+dicts) matters for fidelity: the guest kernel edits them with ordinary
+stores, the walker charges per-level cycle costs, and the VMM's shadow
+page tables are genuinely derived state that can go stale — which is
+what multi-shadowing has to manage.
+"""
+
+import struct
+from typing import Optional, Tuple
+
+from repro.hw.params import PAGE_SIZE
+from repro.hw.phys import PhysicalMemory
+
+PTE_SIZE = 4
+ENTRIES_PER_TABLE = PAGE_SIZE // PTE_SIZE
+
+FLAG_PRESENT = 1 << 0
+FLAG_WRITE = 1 << 1
+FLAG_USER = 1 << 2
+FLAG_ACCESSED = 1 << 3
+FLAG_DIRTY = 1 << 4
+
+_PTE = struct.Struct("<I")
+
+
+class PageTableEntry:
+    """Decoded view of one PTE word."""
+
+    __slots__ = ("pfn", "present", "writable", "user", "accessed", "dirty")
+
+    def __init__(
+        self,
+        pfn: int = 0,
+        present: bool = False,
+        writable: bool = False,
+        user: bool = False,
+        accessed: bool = False,
+        dirty: bool = False,
+    ):
+        self.pfn = pfn
+        self.present = present
+        self.writable = writable
+        self.user = user
+        self.accessed = accessed
+        self.dirty = dirty
+
+    @classmethod
+    def decode(cls, word: int) -> "PageTableEntry":
+        return cls(
+            pfn=word >> 12,
+            present=bool(word & FLAG_PRESENT),
+            writable=bool(word & FLAG_WRITE),
+            user=bool(word & FLAG_USER),
+            accessed=bool(word & FLAG_ACCESSED),
+            dirty=bool(word & FLAG_DIRTY),
+        )
+
+    def encode(self) -> int:
+        word = self.pfn << 12
+        if self.present:
+            word |= FLAG_PRESENT
+        if self.writable:
+            word |= FLAG_WRITE
+        if self.user:
+            word |= FLAG_USER
+        if self.accessed:
+            word |= FLAG_ACCESSED
+        if self.dirty:
+            word |= FLAG_DIRTY
+        return word
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PageTableEntry):
+            return NotImplemented
+        return self.encode() == other.encode()
+
+    def __repr__(self) -> str:
+        flags = "".join(
+            ch if on else "-"
+            for ch, on in (
+                ("P", self.present),
+                ("W", self.writable),
+                ("U", self.user),
+                ("A", self.accessed),
+                ("D", self.dirty),
+            )
+        )
+        return f"PTE(pfn={self.pfn}, {flags})"
+
+
+def split_vpn(vpn: int) -> Tuple[int, int]:
+    """Split a virtual page number into (level-1 index, level-2 index)."""
+    return (vpn >> 10) & 0x3FF, vpn & 0x3FF
+
+
+class PageTableWalker:
+    """Reads and writes page tables held in guest-physical memory.
+
+    The *guest kernel* uses :meth:`map` / :meth:`unmap` to edit its
+    tables; the *MMU and VMM* use :meth:`walk` to translate.  Both
+    operate on the same in-memory bytes, so there is exactly one source
+    of truth for guest mappings.
+    """
+
+    def __init__(self, phys: PhysicalMemory):
+        self._phys = phys
+
+    # -- raw entry access ------------------------------------------------
+
+    def read_entry(self, table_pfn: int, index: int) -> PageTableEntry:
+        if not 0 <= index < ENTRIES_PER_TABLE:
+            raise IndexError(f"bad PTE index {index}")
+        raw = self._phys.read(table_pfn, index * PTE_SIZE, PTE_SIZE)
+        return PageTableEntry.decode(_PTE.unpack(raw)[0])
+
+    def write_entry(self, table_pfn: int, index: int, entry: PageTableEntry) -> None:
+        if not 0 <= index < ENTRIES_PER_TABLE:
+            raise IndexError(f"bad PTE index {index}")
+        self._phys.write(table_pfn, index * PTE_SIZE, _PTE.pack(entry.encode()))
+
+    # -- translation -----------------------------------------------------
+
+    def walk(self, root_pfn: int, vpn: int, set_accessed: bool = False,
+             set_dirty: bool = False) -> Optional[PageTableEntry]:
+        """Translate ``vpn`` under the table rooted at ``root_pfn``.
+
+        Returns the leaf PTE, or ``None`` when either level is
+        not-present.  When ``set_accessed``/``set_dirty`` are given, the
+        walker updates the leaf's A/D bits in memory, as x86 hardware
+        does.
+        """
+        l1, l2 = split_vpn(vpn)
+        dir_entry = self.read_entry(root_pfn, l1)
+        if not dir_entry.present:
+            return None
+        leaf = self.read_entry(dir_entry.pfn, l2)
+        if not leaf.present:
+            return None
+        if (set_accessed and not leaf.accessed) or (set_dirty and not leaf.dirty):
+            leaf.accessed = leaf.accessed or set_accessed
+            leaf.dirty = leaf.dirty or set_dirty
+            self.write_entry(dir_entry.pfn, l2, leaf)
+        return leaf
+
+    # -- kernel-side table editing ----------------------------------------
+
+    def map(
+        self,
+        root_pfn: int,
+        vpn: int,
+        pfn: int,
+        writable: bool,
+        user: bool,
+        alloc_table,
+    ) -> None:
+        """Install a mapping, allocating the second-level table if needed.
+
+        ``alloc_table`` is a zero-argument callable returning a fresh
+        zeroed frame (the kernel's frame allocator); it is only invoked
+        when the directory slot is empty.
+        """
+        l1, l2 = split_vpn(vpn)
+        dir_entry = self.read_entry(root_pfn, l1)
+        if not dir_entry.present:
+            table_pfn = alloc_table()
+            self._phys.zero_frame(table_pfn)
+            dir_entry = PageTableEntry(pfn=table_pfn, present=True,
+                                       writable=True, user=True)
+            self.write_entry(root_pfn, l1, dir_entry)
+        leaf = PageTableEntry(pfn=pfn, present=True, writable=writable, user=user)
+        self.write_entry(dir_entry.pfn, l2, leaf)
+
+    def unmap(self, root_pfn: int, vpn: int) -> Optional[PageTableEntry]:
+        """Remove a mapping; returns the old leaf PTE (or ``None``)."""
+        l1, l2 = split_vpn(vpn)
+        dir_entry = self.read_entry(root_pfn, l1)
+        if not dir_entry.present:
+            return None
+        leaf = self.read_entry(dir_entry.pfn, l2)
+        if not leaf.present:
+            return None
+        self.write_entry(dir_entry.pfn, l2, PageTableEntry())
+        return leaf
+
+    def set_writable(self, root_pfn: int, vpn: int, writable: bool) -> None:
+        l1, l2 = split_vpn(vpn)
+        dir_entry = self.read_entry(root_pfn, l1)
+        if not dir_entry.present:
+            raise KeyError(f"vpn {vpn:#x} has no directory entry")
+        leaf = self.read_entry(dir_entry.pfn, l2)
+        if not leaf.present:
+            raise KeyError(f"vpn {vpn:#x} not mapped")
+        leaf.writable = writable
+        self.write_entry(dir_entry.pfn, l2, leaf)
+
+    def mapped_vpns(self, root_pfn: int):
+        """Yield ``(vpn, PageTableEntry)`` for every present leaf mapping."""
+        for l1 in range(ENTRIES_PER_TABLE):
+            dir_entry = self.read_entry(root_pfn, l1)
+            if not dir_entry.present:
+                continue
+            for l2 in range(ENTRIES_PER_TABLE):
+                leaf = self.read_entry(dir_entry.pfn, l2)
+                if leaf.present:
+                    yield (l1 << 10) | l2, leaf
+
+    def table_frames(self, root_pfn: int):
+        """Yield the pfns of all second-level table pages under a root."""
+        for l1 in range(ENTRIES_PER_TABLE):
+            dir_entry = self.read_entry(root_pfn, l1)
+            if dir_entry.present:
+                yield dir_entry.pfn

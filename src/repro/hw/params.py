@@ -1,0 +1,116 @@
+"""Machine parameters and the virtual-cycle cost model.
+
+The reproduction reports results in *virtual cycles*: every hardware,
+OS, and VMM action charges a deterministic cost to the machine's
+:class:`repro.hw.cycles.CycleAccount`.  Absolute numbers are arbitrary;
+the table below is calibrated so that *relative* overheads land where
+the paper reports them (compute-bound workloads within a few percent,
+syscall microbenchmarks several-x to tens-x, fork/exec the worst case).
+
+The cost table is deliberately a plain dataclass so benchmarks and
+ablations can construct variants (e.g. a cheaper cipher) without
+touching global state.
+"""
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+#: Bytes per page.  Matches x86 small pages, like the paper's platform.
+PAGE_SIZE = 4096
+
+#: log2(PAGE_SIZE).
+PAGE_SHIFT = 12
+
+#: Width of a virtual address in bits (two 10-bit table levels + offset).
+VA_BITS = 32
+
+
+@dataclass(frozen=True)
+class CostTable:
+    """Virtual-cycle costs for primitive machine/VMM operations.
+
+    Per-byte costs are expressed as cycles per byte and applied to the
+    actual transfer size; per-page crypto costs cover one full page.
+    """
+
+    # --- raw machine ---
+    alu: int = 1                    # one unit of application compute
+    mem_access: int = 1             # TLB-hit load/store (any size <= 8)
+    mem_byte: float = 0.25          # bulk copy cost per byte (memcpy-like)
+    tlb_fill: int = 24              # TLB miss serviced from shadow page table
+    pt_walk_level: int = 90         # guest page-table walk, per level
+    trap: int = 160                 # ring crossing, one direction
+    interrupt: int = 220            # asynchronous interrupt delivery
+
+    # --- guest OS ---
+    syscall_dispatch: int = 90      # kernel-side decode + table dispatch
+    schedule: int = 240             # scheduler pass + context switch
+    fault_handler: int = 600        # kernel page-fault handling overhead
+    zero_fill: int = 520            # zeroing a fresh page
+    disk_block: int = 2600          # one block of disk I/O (DMA modelled)
+
+    # --- VMM / Overshadow ---
+    world_switch: int = 420         # VMM entry/exit (one direction)
+    hypercall: int = 260            # shim -> VMM call, on top of world switch
+    shadow_fill: int = 140          # install one shadow PTE
+    shadow_flush: int = 480         # drop one shadow context's mappings
+    ctc_save: int = 170             # save + scrub registers into the CTC
+    ctc_restore: int = 190          # verify + restore registers from the CTC
+    page_encrypt: int = 5800        # encrypt one page (AES-128-CTR analogue)
+    page_decrypt: int = 5800        # decrypt one page
+    page_hash: int = 3200           # SHA-256 over one page
+    metadata_op: int = 60           # metadata lookup/update
+    ciphertext_restore: int = 900   # reuse cached ciphertext of a clean page
+
+    def copy_cost(self, nbytes: int) -> int:
+        """Cycles to copy ``nbytes`` of memory."""
+        return int(self.mem_byte * nbytes)
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Configuration for one simulated machine."""
+
+    memory_bytes: int = 64 * 1024 * 1024
+    disk_blocks: int = 16384
+    block_size: int = PAGE_SIZE
+    timeslice_cycles: int = 200_000
+    tlb_entries: int = 256
+    #: Memory-pressure simulation: every this-many cycles the kernel's
+    #: reclaimer evicts ``reclaim_batch_pages`` anonymous pages to
+    #: swap.  0 disables reclaim (the default).
+    reclaim_interval_cycles: int = 0
+    reclaim_batch_pages: int = 4
+    costs: CostTable = field(default_factory=CostTable)
+
+    @property
+    def total_frames(self) -> int:
+        return self.memory_bytes // PAGE_SIZE
+
+    def with_costs(self, **overrides: int) -> "MachineParams":
+        """Return a copy with some cost-table entries replaced.
+
+        Used by the ablation benchmarks to vary a single cost (e.g. a
+        free cipher) while keeping everything else fixed.
+        """
+        return replace(self, costs=replace(self.costs, **overrides))
+
+
+def default_params() -> MachineParams:
+    """The configuration used by tests and benchmarks unless overridden."""
+    return MachineParams()
+
+
+#: Human-readable labels for cycle-account categories, in display order.
+CYCLE_CATEGORIES: Dict[str, str] = {
+    "user": "application compute",
+    "mem": "memory accesses",
+    "mmu": "TLB / page-table walks",
+    "kernel": "guest kernel",
+    "sched": "scheduling",
+    "disk": "disk I/O",
+    "vmm": "VMM world switches & bookkeeping",
+    "crypto": "cloaking crypto (encrypt/decrypt/hash)",
+    "shim": "shim marshalling",
+    "fault": "fault handling",
+}

@@ -1,0 +1,114 @@
+"""Guest-physical memory and frame allocation.
+
+Memory is an array of page frames, each a ``bytearray``.  The cloaking
+engine encrypts/decrypts frames *in place*, exactly as Overshadow does
+with machine pages: a given frame holds either plaintext (visible to
+the owning cloaked application) or ciphertext (what the OS sees).
+"""
+
+from typing import List, Optional
+
+from repro.hw.params import PAGE_SIZE
+
+
+class OutOfMemoryError(Exception):
+    """No free guest-physical frames remain."""
+
+
+class PhysicalMemory:
+    """Byte-addressable guest-physical memory, organised as frames."""
+
+    def __init__(self, total_frames: int):
+        if total_frames <= 0:
+            raise ValueError("need at least one frame")
+        self._frames: List[bytearray] = [
+            bytearray(PAGE_SIZE) for _ in range(total_frames)
+        ]
+
+    @property
+    def total_frames(self) -> int:
+        return len(self._frames)
+
+    def _check(self, pfn: int) -> None:
+        if not 0 <= pfn < len(self._frames):
+            raise IndexError(f"bad pfn {pfn}")
+
+    def frame(self, pfn: int) -> bytearray:
+        """Direct (mutable) access to a frame's backing store.
+
+        Only the VMM's cloak engine and the disk DMA path use this;
+        guest software goes through the MMU.
+        """
+        self._check(pfn)
+        return self._frames[pfn]
+
+    def read(self, pfn: int, offset: int, size: int) -> bytes:
+        self._check(pfn)
+        if offset < 0 or size < 0 or offset + size > PAGE_SIZE:
+            raise ValueError(f"bad intra-frame range {offset}+{size}")
+        return bytes(self._frames[pfn][offset : offset + size])
+
+    def write(self, pfn: int, offset: int, data: bytes) -> None:
+        self._check(pfn)
+        if offset < 0 or offset + len(data) > PAGE_SIZE:
+            raise ValueError(f"bad intra-frame range {offset}+{len(data)}")
+        self._frames[pfn][offset : offset + len(data)] = data
+
+    def read_frame(self, pfn: int) -> bytes:
+        return self.read(pfn, 0, PAGE_SIZE)
+
+    def write_frame(self, pfn: int, data: bytes) -> None:
+        if len(data) != PAGE_SIZE:
+            raise ValueError("write_frame needs exactly one page of data")
+        self.write(pfn, 0, data)
+
+    def zero_frame(self, pfn: int) -> None:
+        self._check(pfn)
+        self._frames[pfn][:] = bytes(PAGE_SIZE)
+
+
+class FrameAllocator:
+    """Free-list allocator over guest-physical frames.
+
+    The guest kernel owns one of these for general allocation; a small
+    region is reserved at boot for the VMM's own use (uncloaked
+    marshalling buffers are guest-allocated, so the VMM needs almost
+    nothing).
+    """
+
+    def __init__(self, total_frames: int, reserved_low: int = 0):
+        if reserved_low >= total_frames:
+            raise ValueError("reservation exceeds memory size")
+        self._free: List[int] = list(range(total_frames - 1, reserved_low - 1, -1))
+        self._total = total_frames - reserved_low
+        self._allocated = set()
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_count(self) -> int:
+        return len(self._allocated)
+
+    def alloc(self) -> int:
+        """Allocate one frame; raises :class:`OutOfMemoryError` when full."""
+        if not self._free:
+            raise OutOfMemoryError("no free frames")
+        pfn = self._free.pop()
+        self._allocated.add(pfn)
+        return pfn
+
+    def alloc_many(self, count: int) -> List[int]:
+        if count > len(self._free):
+            raise OutOfMemoryError(f"need {count} frames, have {len(self._free)}")
+        return [self.alloc() for _ in range(count)]
+
+    def free(self, pfn: int) -> None:
+        if pfn not in self._allocated:
+            raise ValueError(f"double free or foreign frame: {pfn}")
+        self._allocated.remove(pfn)
+        self._free.append(pfn)
+
+    def is_allocated(self, pfn: int) -> bool:
+        return pfn in self._allocated

@@ -1,0 +1,118 @@
+"""Software TLB, tagged by (address space, view).
+
+The *view* tag is the hook multi-shadowing needs: the same virtual page
+of the same address space can be cached with different permissions —
+or deliberately not cached — depending on whether the CPU is running
+the cloaked application's view or the system (kernel / other apps)
+view.  Tagging avoids full flushes on world switches, mirroring the
+paper's observation that multi-shadowing composes with tagged shadow
+contexts rather than forcing a flush per transition.
+"""
+
+from collections import OrderedDict
+from typing import Iterator, Optional, Tuple
+
+
+class TLBEntry:
+    """One cached translation.
+
+    ``dirty`` mirrors the guest PTE's dirty bit: a write through an
+    entry whose dirty bit is clear must re-walk so the guest table's D
+    bit gets set, exactly as x86 TLBs behave.
+    """
+
+    __slots__ = ("vpn", "pfn", "writable", "user", "dirty")
+
+    def __init__(self, vpn: int, pfn: int, writable: bool, user: bool,
+                 dirty: bool = False):
+        self.vpn = vpn
+        self.pfn = pfn
+        self.writable = writable
+        self.user = user
+        self.dirty = dirty
+
+    def __repr__(self) -> str:
+        mode = "u" if self.user else "s"
+        rw = "w" if self.writable else "r"
+        return f"TLBEntry(vpn={self.vpn:#x} -> pfn={self.pfn}, {rw}{mode})"
+
+
+Key = Tuple[int, int, int]  # (asid, view, vpn)
+
+
+class SoftwareTLB:
+    """LRU translation cache keyed by (asid, view, vpn)."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError("TLB capacity must be positive")
+        self._capacity = capacity
+        self._entries: "OrderedDict[Key, TLBEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def lookup(self, asid: int, view: int, vpn: int) -> Optional[TLBEntry]:
+        key = (asid, view, vpn)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def insert(self, asid: int, view: int, entry: TLBEntry) -> None:
+        key = (asid, view, entry.vpn)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self._capacity:
+            self._entries.popitem(last=False)
+        self._entries[key] = entry
+
+    def invalidate_page(self, vpn: int, asid: Optional[int] = None) -> int:
+        """Drop all cached translations of ``vpn`` (optionally one asid).
+
+        Returns the number of entries removed.  This is the ``invlpg``
+        analogue the guest kernel issues after editing a PTE, and the
+        hook the VMM uses when a page's cloak state flips.
+        """
+        victims = [
+            key
+            for key in self._entries
+            if key[2] == vpn and (asid is None or key[0] == asid)
+        ]
+        for key in victims:
+            del self._entries[key]
+        return len(victims)
+
+    def invalidate_asid(self, asid: int) -> int:
+        """Drop all translations for one address space (CR3-write analogue)."""
+        victims = [key for key in self._entries if key[0] == asid]
+        for key in victims:
+            del self._entries[key]
+        return len(victims)
+
+    def invalidate_view(self, view: int) -> int:
+        """Drop all translations cached under one view tag."""
+        victims = [key for key in self._entries if key[1] == view]
+        for key in victims:
+            del self._entries[key]
+        return len(victims)
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def entries(self) -> Iterator[Tuple[Key, TLBEntry]]:
+        return iter(list(self._entries.items()))
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

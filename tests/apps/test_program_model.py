@@ -1,0 +1,164 @@
+"""Unit tests for the program model and runtime stack machinery."""
+
+import pytest
+
+from repro.apps.program import BaseRuntime, NativeRuntime, Program, UserContext
+from repro.guestos import layout, uapi
+from repro.guestos.uapi import Alu, Load, Store, Syscall, SyscallOp
+
+
+class TestUserContext:
+    def test_scratch_is_aligned_and_monotonic(self):
+        ctx = UserContext()
+        a = ctx.scratch(10)
+        b = ctx.scratch(1)
+        assert a % 16 == 0 or a == layout.DATA_BASE
+        assert b >= a + 16
+
+    def test_scratch_exhaustion(self):
+        ctx = UserContext()
+        with pytest.raises(MemoryError):
+            ctx.scratch(layout.DATA_MAX_PAGES * 4096 + 1)
+
+    def test_op_constructors(self):
+        ctx = UserContext()
+        assert isinstance(ctx.alu(5), Alu)
+        assert isinstance(ctx.load(0x100, 4), Load)
+        assert isinstance(ctx.store(0x100, b"x"), Store)
+        op = ctx.read(3, 0x100, 10)
+        assert isinstance(op, SyscallOp)
+        assert op.number == Syscall.READ
+        assert op.args == (3, 0x100, 10)
+
+    def test_fork_carries_entry_in_extra(self):
+        ctx = UserContext()
+
+        def entry(c):
+            yield c.alu(1)
+
+        op = ctx.fork(entry, 1, 2)
+        assert op.number == Syscall.FORK
+        assert op.extra == (entry, (1, 2))
+
+    def test_argv_tuple(self):
+        ctx = UserContext(["a", "b"])
+        assert ctx.argv == ("a", "b")
+
+
+class EchoProgram(Program):
+    name = "echo"
+
+    def main(self, ctx):
+        value = yield Alu(1)
+        assert value is None
+        result = yield SyscallOp(Syscall.GETPID)
+        yield Alu(result)
+        return 42
+
+
+class TestNativeRuntime:
+    def test_ops_flow_and_results_roundtrip(self):
+        runtime = NativeRuntime(EchoProgram())
+        runtime.start(pid=9)
+        op1 = runtime.next_op(None)
+        assert isinstance(op1, Alu)
+        op2 = runtime.next_op(None)
+        assert isinstance(op2, SyscallOp)
+        op3 = runtime.next_op(77)   # the syscall's result
+        assert isinstance(op3, Alu) and op3.units == 77
+
+    def test_exit_emitted_with_return_code(self):
+        runtime = NativeRuntime(EchoProgram())
+        runtime.start(pid=9)
+        ops = []
+        result = None
+        while True:
+            op = runtime.next_op(result)
+            if op is None:
+                break
+            ops.append(op)
+            result = 1 if isinstance(op, SyscallOp) else None
+        assert isinstance(ops[-1], SyscallOp)
+        assert ops[-1].number == Syscall.EXIT
+        assert ops[-1].args == (42,)
+        assert runtime.next_op(None) is None
+
+    def test_sigaction_tracked(self):
+        class P(Program):
+            name = "p"
+
+            def main(self, ctx):
+                yield ctx.sigaction(uapi.SIGUSR1, 2)
+                yield ctx.sigaction(uapi.SIGUSR2, 2)
+                yield ctx.sigaction(uapi.SIGUSR1, uapi.SIG_DFL)
+                yield Alu(1)
+
+        runtime = NativeRuntime(P())
+        runtime.start(1)
+        for __ in range(3):
+            runtime.next_op(0 if __ else None)
+        runtime.next_op(0)
+        assert runtime.handled_signals == {uapi.SIGUSR2}
+
+    def test_signal_handler_interleaves_and_result_routing(self):
+        """A handler pushed while a syscall result is pending must not
+        steal that result (per-frame inboxes)."""
+
+        class P(Program):
+            name = "p"
+            seen = []
+
+            def signal_handler(self, ctx, sig):
+                type(self).seen.append(("handler", sig))
+                yield Alu(5)
+
+            def main(self, ctx):
+                yield ctx.sigaction(uapi.SIGUSR1, 2)
+                value = yield SyscallOp(Syscall.GETPID)
+                type(self).seen.append(("main", value))
+                yield Alu(1)
+
+        runtime = NativeRuntime(P())
+        runtime.start(1)
+        runtime.next_op(None)       # sigaction op
+        op = runtime.next_op(0)     # getpid op
+        assert isinstance(op, SyscallOp)
+        # Signal arrives while getpid's result is in flight.
+        assert runtime.deliver_signal(uapi.SIGUSR1)
+        handler_op = runtime.next_op(1234)   # result routed to main later
+        assert isinstance(handler_op, Alu) and handler_op.units == 5
+        main_op = runtime.next_op(None)
+        assert isinstance(main_op, Alu) and main_op.units == 1
+        assert P.seen == [("handler", uapi.SIGUSR1), ("main", 1234)]
+
+    def test_deliver_unhandled_signal_refused(self):
+        runtime = NativeRuntime(EchoProgram())
+        runtime.start(1)
+        assert not runtime.deliver_signal(uapi.SIGUSR1)
+
+    def test_make_child_runs_entry(self):
+        def entry(ctx, token):
+            yield Alu(token)
+
+        parent = NativeRuntime(EchoProgram())
+        parent.start(1)
+        child = parent.make_child(entry, (9,))
+        child.start_child(2)
+        op = child.next_op(None)
+        assert isinstance(op, Alu) and op.units == 9
+
+    def test_start_child_without_entry_raises(self):
+        runtime = NativeRuntime(EchoProgram())
+        with pytest.raises(RuntimeError):
+            runtime.start_child(2)
+
+    def test_image_bytes_deterministic_and_distinct(self):
+        class A(Program):
+            name = "a"
+
+        class B(Program):
+            name = "b"
+
+        assert A().image_bytes() == A().image_bytes()
+        assert A().image_bytes() != B().image_bytes()
+        assert len(A().image_bytes(4096)) == 4096

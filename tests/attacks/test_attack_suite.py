@@ -1,0 +1,73 @@
+"""The attack suite as a test battery (the R-T4 guarantees).
+
+Each attack runs against both a native and a cloaked victim; the
+native victim documents that the attack is real (it leaks), the
+cloaked victim documents the defence.
+"""
+
+import pytest
+
+from repro.attacks import ATTACK_SUITE, AttackOutcome, run_attack
+
+CASES = [(a, v, argv) for a, v, argv in ATTACK_SUITE]
+IDS = [a.name for a, __, ___ in CASES]
+
+
+@pytest.mark.parametrize("attack_cls,victim_cls,argv", CASES, ids=IDS)
+def test_attack_leaks_against_native(attack_cls, victim_cls, argv):
+    report = run_attack(attack_cls, victim_cls, argv, cloaked=False)
+    assert report.outcome in (AttackOutcome.LEAKED, AttackOutcome.OUT_OF_SCOPE), \
+        f"{attack_cls.name} did not demonstrate the baseline weakness: {report}"
+
+
+@pytest.mark.parametrize("attack_cls,victim_cls,argv", CASES, ids=IDS)
+def test_attack_fails_against_cloaked(attack_cls, victim_cls, argv):
+    report = run_attack(attack_cls, victim_cls, argv, cloaked=True)
+    assert report.outcome is not AttackOutcome.LEAKED, report.detail
+
+
+class TestSpecificOutcomes:
+    """The paper's argument distinguishes privacy (DEFEATED) from
+    integrity (DETECTED); pin the important rows."""
+
+    def _cloaked(self, name):
+        attack_cls, victim_cls, argv = next(
+            entry for entry in ATTACK_SUITE if entry[0].name == name
+        )
+        return run_attack(attack_cls, victim_cls, argv, cloaked=True)
+
+    def test_scrape_is_defeated_not_detected(self):
+        report = self._cloaked("memory-scrape")
+        assert report.outcome is AttackOutcome.DEFEATED
+
+    def test_tamper_is_detected(self):
+        report = self._cloaked("tamper-bitflip")
+        assert report.outcome is AttackOutcome.DETECTED
+
+    def test_rollback_is_detected_as_freshness(self):
+        report = self._cloaked("replay-rollback")
+        assert report.outcome is AttackOutcome.DETECTED
+        assert "freshness_violation=True" in report.detail
+
+    def test_register_scrape_sees_zeros(self):
+        report = self._cloaked("register-scrape")
+        assert report.outcome is AttackOutcome.DEFEATED
+        assert "observed=0x0" in report.detail
+
+    def test_swap_scrape_defeated(self):
+        report = self._cloaked("swap-scrape")
+        assert report.outcome is AttackOutcome.DEFEATED
+
+    def test_channel_tamper_detected(self):
+        report = self._cloaked("channel-tamper")
+        assert report.outcome is AttackOutcome.DETECTED
+
+    def test_unprotected_lie_is_out_of_scope_both_ways(self):
+        attack_cls, victim_cls, argv = next(
+            entry for entry in ATTACK_SUITE
+            if entry[0].name == "syscall-lie-unprotected"
+        )
+        native = run_attack(attack_cls, victim_cls, argv, cloaked=False)
+        cloaked = run_attack(attack_cls, victim_cls, argv, cloaked=True)
+        assert native.outcome is AttackOutcome.OUT_OF_SCOPE
+        assert cloaked.outcome is AttackOutcome.OUT_OF_SCOPE

@@ -1,0 +1,31 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import DESCRIPTIONS, _experiments, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for key in DESCRIPTIONS:
+            assert key in out
+
+    def test_every_experiment_has_description_and_runner(self):
+        experiments = _experiments()
+        assert set(experiments) == set(DESCRIPTIONS)
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["r-zz"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown" in err
+
+    def test_single_experiment_runs(self, capsys):
+        assert main(["r-t1"]) == 0
+        out = capsys.readouterr().out
+        assert "R-T1" in out
+        assert "zero-fill" in out
+
+    def test_selection_is_case_insensitive(self, capsys):
+        assert main(["R-T1"]) == 0

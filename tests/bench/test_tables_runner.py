@@ -1,0 +1,99 @@
+"""Unit tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench.runner import compare_program, overhead_pct, ratio
+from repro.bench.tables import Series, Table
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("T", ["name", "value"])
+        table.add_row("a", 1)
+        table.add_row("longer-name", 123456)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2] and "value" in lines[2]
+        assert "123,456" in text  # thousands separator
+        # All data rows same width.
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1
+
+    def test_arity_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_float_formatting(self):
+        table = Table("T", ["v"])
+        table.add_row(1234.5)
+        table.add_row(12.34)
+        table.add_row(1.234)
+        text = table.render()
+        assert "1,234" in text or "1234" in text.replace(",", "")
+        assert "12.3" in text
+        assert "1.23" in text
+
+
+class TestSeries:
+    def test_series_extraction(self):
+        series = Series("S", "x", ["a", "b"])
+        series.add_point(1, 10, 20)
+        series.add_point(2, 30, 40)
+        assert series.xs() == [1, 2]
+        assert series.series("a") == [10, 30]
+        assert series.series("b") == [20, 40]
+
+    def test_arity_checked(self):
+        series = Series("S", "x", ["a"])
+        with pytest.raises(ValueError):
+            series.add_point(1, 2, 3)
+
+    def test_as_table(self):
+        series = Series("S", "x", ["a"])
+        series.add_point(5, 7)
+        table = series.as_table()
+        assert table.columns == ["x", "a"]
+        assert table.rows == [["5", "7"]]
+
+
+class TestRunnerHelpers:
+    def test_overhead_pct(self):
+        assert overhead_pct(100, 150) == pytest.approx(50.0)
+        assert overhead_pct(0, 10) == 0.0
+
+    def test_ratio(self):
+        assert ratio(100, 250) == pytest.approx(2.5)
+        assert ratio(0, 1) == float("inf")
+
+    def test_compare_program_detects_divergence(self):
+        """A program whose output depends on cloaking must fail the
+        transparency gate."""
+        from repro.apps.program import Program
+        from repro.bench import runner
+
+        class Leaky(Program):
+            name = "leaky-probe"
+            counter = [0]
+
+            def main(self, ctx):
+                # Output differs between the two runs (not because of
+                # cloaking — simulating a transparency failure).
+                type(self).counter[0] += 1
+                yield from ctx.print(f"run {type(self).counter[0]}\n")
+                return 0
+
+        original = runner.fresh_machine
+
+        def patched(cloaked=False, **kwargs):
+            machine = original(cloaked=cloaked, **kwargs)
+            machine.register(Leaky, cloaked=cloaked)
+            return machine
+
+        runner.fresh_machine = patched
+        try:
+            with pytest.raises(AssertionError):
+                compare_program("leaky-probe")
+        finally:
+            runner.fresh_machine = original

@@ -1,0 +1,130 @@
+"""Unit and property tests for the cloaking crypto layer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import crypto
+from repro.core.crypto import PageCipher
+from repro.hw.params import PAGE_SIZE
+
+MASTER = b"test-master-secret"
+
+
+class TestPrimitives:
+    def test_keystream_deterministic(self):
+        key, iv = b"k" * 32, b"i" * 16
+        assert crypto.keystream(key, iv, 100) == crypto.keystream(key, iv, 100)
+
+    def test_keystream_prefix_stable(self):
+        key, iv = b"k" * 32, b"i" * 16
+        long = crypto.keystream(key, iv, 100)
+        assert crypto.keystream(key, iv, 40) == long[:40]
+
+    def test_keystream_varies_with_iv(self):
+        key = b"k" * 32
+        assert crypto.keystream(key, b"a" * 16, 64) != crypto.keystream(key, b"b" * 16, 64)
+
+    def test_keystream_negative_length(self):
+        with pytest.raises(ValueError):
+            crypto.keystream(b"k", b"i", -1)
+
+    def test_encrypt_decrypt_roundtrip(self):
+        key, iv = b"k" * 32, b"i" * 16
+        plaintext = b"attack at dawn" * 10
+        ciphertext = crypto.encrypt(key, iv, plaintext)
+        assert ciphertext != plaintext
+        assert crypto.decrypt(key, iv, ciphertext) == plaintext
+
+    def test_xor_length_mismatch(self):
+        with pytest.raises(ValueError):
+            crypto.xor_bytes(b"abc", b"ab")
+
+    def test_derive_key_separates_purposes(self):
+        a = crypto.derive_key(MASTER, "page-enc", 1)
+        b = crypto.derive_key(MASTER, "page-mac", 1)
+        c = crypto.derive_key(MASTER, "page-enc", 2)
+        assert len({a, b, c}) == 3
+
+    def test_make_iv_unique_per_version(self):
+        assert crypto.make_iv(1, 2, 3) != crypto.make_iv(1, 2, 4)
+        assert crypto.make_iv(1, 2, 3) != crypto.make_iv(1, 3, 3)
+        assert crypto.make_iv(1, 2, 3) != crypto.make_iv(2, 2, 3)
+
+    def test_hash_image_differs(self):
+        assert crypto.hash_image(b"prog-a") != crypto.hash_image(b"prog-b")
+
+
+@given(data=st.binary(min_size=0, max_size=4096))
+@settings(max_examples=50)
+def test_roundtrip_property(data):
+    key, iv = b"\x01" * 32, b"\x02" * 16
+    assert crypto.decrypt(key, iv, crypto.encrypt(key, iv, data)) == data
+
+
+@given(
+    vpn=st.integers(min_value=0, max_value=2**20 - 1),
+    version=st.integers(min_value=1, max_value=2**32),
+)
+@settings(max_examples=30)
+def test_page_cipher_roundtrip_property(vpn, version):
+    cipher = PageCipher(MASTER, b"identity-5")
+    plaintext = bytes((vpn + i) % 256 for i in range(PAGE_SIZE))
+    ciphertext, iv, mac = cipher.encrypt_page(vpn, version, plaintext)
+    assert cipher.verify_page(vpn, version, iv, mac, ciphertext)
+    assert cipher.decrypt_page(iv, ciphertext) == plaintext
+
+
+class TestPageCipher:
+    def setup_method(self):
+        self.cipher = PageCipher(MASTER, b"identity-1")
+        self.plaintext = b"\x37" * PAGE_SIZE
+
+    def test_mac_rejects_bit_flip(self):
+        ciphertext, iv, mac = self.cipher.encrypt_page(7, 1, self.plaintext)
+        tampered = bytearray(ciphertext)
+        tampered[100] ^= 0x01
+        assert not self.cipher.verify_page(7, 1, iv, mac, bytes(tampered))
+
+    def test_mac_rejects_wrong_vpn(self):
+        """Relocation defence: ciphertext moved to another page fails."""
+        ciphertext, iv, mac = self.cipher.encrypt_page(7, 1, self.plaintext)
+        assert not self.cipher.verify_page(8, 1, iv, mac, ciphertext)
+
+    def test_mac_rejects_wrong_version(self):
+        """Replay defence: stale version number fails."""
+        ciphertext, iv, mac = self.cipher.encrypt_page(7, 3, self.plaintext)
+        assert not self.cipher.verify_page(7, 4, iv, mac, ciphertext)
+
+    def test_different_identities_cannot_verify(self):
+        other = PageCipher(MASTER, b"identity-2")
+        ciphertext, iv, mac = self.cipher.encrypt_page(7, 1, self.plaintext)
+        assert not other.verify_page(7, 1, iv, mac, ciphertext)
+
+    def test_ciphertext_differs_between_versions(self):
+        """No (key, iv) reuse: re-encryption yields fresh ciphertext."""
+        ct1, __, __ = self.cipher.encrypt_page(7, 1, self.plaintext)
+        ct2, __, __ = self.cipher.encrypt_page(7, 2, self.plaintext)
+        assert ct1 != ct2
+
+    def test_same_identity_shares_keys_and_verifies(self):
+        """Fork (and a later re-run of the same app) reuse the same
+        principal: a second cipher built from the same identity
+        verifies and decrypts the first one's pages."""
+        child = PageCipher(MASTER, b"identity-1")
+        assert child.shares_keys_with(self.cipher)
+        assert child.lineage_id == self.cipher.lineage_id
+        ciphertext, iv, mac = self.cipher.encrypt_page(7, 1, self.plaintext)
+        assert child.verify_page(7, 1, iv, mac, ciphertext)
+        assert child.decrypt_page(iv, ciphertext) == self.plaintext
+
+    def test_fresh_identity_does_not_share_keys(self):
+        other = PageCipher(MASTER, b"identity-9")
+        assert not other.shares_keys_with(self.cipher)
+        assert other.lineage_id != self.cipher.lineage_id
+
+    def test_ciphertext_looks_random(self):
+        """Entropy sanity check: ciphertext of a constant page has no
+        dominant byte (the OS-visible view leaks no structure)."""
+        ciphertext, __, __ = self.cipher.encrypt_page(7, 1, self.plaintext)
+        counts = [ciphertext.count(bytes([b])) for b in range(256)]
+        assert max(counts) < PAGE_SIZE // 32

@@ -1,0 +1,86 @@
+"""Unit tests for cloaked thread contexts."""
+
+import pytest
+
+from repro.core.ctc import CloakedThreadContext, CTCTable, ExitReason
+from repro.core.errors import ControlTransferViolation
+
+
+class TestCloakedThreadContext:
+    def test_save_restore_roundtrip(self):
+        ctc = CloakedThreadContext(1)
+        regs = {"r0": 1, "r1": 2, "pc": 0x4000}
+        ctc.save(regs, ExitReason.SYSCALL)
+        assert ctc.valid
+        restored = ctc.restore()
+        assert restored == regs
+        assert not ctc.valid
+
+    def test_save_copies_not_aliases(self):
+        ctc = CloakedThreadContext(1)
+        regs = {"r0": 1}
+        ctc.save(regs, ExitReason.FAULT)
+        regs["r0"] = 99  # kernel-side mutation after the trap
+        assert ctc.restore()["r0"] == 1
+
+    def test_restore_without_save_rejected(self):
+        ctc = CloakedThreadContext(1)
+        with pytest.raises(ControlTransferViolation):
+            ctc.restore()
+
+    def test_double_restore_rejected(self):
+        ctc = CloakedThreadContext(1)
+        ctc.save({"r0": 1}, ExitReason.SYSCALL)
+        ctc.restore()
+        with pytest.raises(ControlTransferViolation):
+            ctc.restore()
+
+    def test_nested_contexts_lifo(self):
+        """Signal delivery interrupts an already-saved thread: contexts
+        stack and unwind in order."""
+        ctc = CloakedThreadContext(1)
+        ctc.save({"r0": 1}, ExitReason.SYSCALL)
+        ctc.save({"r0": 2}, ExitReason.SIGNAL_ENTER)
+        assert ctc.restore()["r0"] == 2
+        assert ctc.valid  # outer context still pending
+        assert ctc.restore()["r0"] == 1
+        assert not ctc.valid
+
+    def test_peek_does_not_consume(self):
+        ctc = CloakedThreadContext(1)
+        ctc.save({"r0": 5}, ExitReason.INTERRUPT)
+        assert ctc.peek() == {"r0": 5}
+        assert ctc.valid
+        # Mutating the peeked copy must not corrupt the saved state.
+        ctc.peek()["r0"] = 9
+        assert ctc.restore()["r0"] == 5
+
+
+class TestCTCTable:
+    def test_get_creates_per_pid(self):
+        table = CTCTable()
+        assert table.get(1) is table.get(1)
+        assert table.get(1) is not table.get(2)
+        assert len(table) == 2
+
+    def test_clone_for_fork(self):
+        table = CTCTable()
+        parent = table.get(1)
+        parent.save({"r0": 7, "pc": 0x1000}, ExitReason.SYSCALL)
+        child = table.clone(1, 2)
+        assert child.valid
+        assert child.restore() == {"r0": 7, "pc": 0x1000}
+        # Parent's context is independent and still restorable.
+        assert parent.restore() == {"r0": 7, "pc": 0x1000}
+
+    def test_clone_of_idle_parent(self):
+        table = CTCTable()
+        child = table.clone(1, 2)
+        assert not child.valid
+
+    def test_drop(self):
+        table = CTCTable()
+        table.get(1)
+        table.drop(1)
+        assert len(table) == 0
+        table.drop(99)  # idempotent

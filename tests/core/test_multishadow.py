@@ -1,0 +1,104 @@
+"""Unit tests for multi-shadowing."""
+
+import pytest
+
+from repro.core.multishadow import MultiShadow, POLICY_FLUSH, POLICY_TAGGED
+from repro.hw.tlb import TLBEntry
+
+
+def entry(vpn, pfn, writable=True, user=True, dirty=False):
+    return TLBEntry(vpn, pfn, writable, user, dirty)
+
+
+class TestShadowContexts:
+    def test_contexts_created_on_demand(self):
+        shadows = MultiShadow()
+        shadows.context(1, 0)
+        shadows.context(1, 5)
+        assert shadows.shadow_count() == 2
+
+    def test_same_page_different_views(self):
+        """The core multi-shadowing property: one guest page, two
+        simultaneous shadow translations selected by view."""
+        shadows = MultiShadow()
+        shadows.install(1, 0, entry(0x40, pfn=7))   # system view
+        shadows.install(1, 9, entry(0x40, pfn=7))   # cloaked app view
+        assert shadows.lookup(1, 0, 0x40) is not None
+        assert shadows.lookup(1, 9, 0x40) is not None
+        assert shadows.entry_count() == 2
+
+    def test_lookup_miss(self):
+        shadows = MultiShadow()
+        assert shadows.lookup(1, 0, 0x40) is None
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            MultiShadow(policy="bogus")
+
+
+class TestInvalidation:
+    def test_invalidate_vpn_hits_all_views_of_asid(self):
+        shadows = MultiShadow()
+        shadows.install(1, 0, entry(0x40, 7))
+        shadows.install(1, 9, entry(0x40, 7))
+        shadows.install(2, 0, entry(0x40, 8))
+        victims = shadows.invalidate_vpn(1, 0x40)
+        assert len(victims) == 2
+        assert shadows.lookup(1, 0, 0x40) is None
+        assert shadows.lookup(2, 0, 0x40) is not None
+
+    def test_invalidate_frame_spans_address_spaces(self):
+        """A shared frame (e.g. mapped file) is purged everywhere."""
+        shadows = MultiShadow()
+        shadows.install(1, 0, entry(0x40, 7))
+        shadows.install(2, 0, entry(0x99, 7))   # same frame, other AS
+        shadows.install(2, 0, entry(0x9A, 8))
+        victims = shadows.invalidate_frame(7)
+        assert sorted(v[0] for v in victims) == [1, 2]
+        assert shadows.lookup(2, 0, 0x99) is None
+        assert shadows.lookup(2, 0, 0x9A) is not None
+
+    def test_invalidate_frame_empty(self):
+        shadows = MultiShadow()
+        assert shadows.invalidate_frame(7) == []
+
+    def test_drop_asid(self):
+        shadows = MultiShadow()
+        shadows.install(1, 0, entry(0x40, 7))
+        shadows.install(1, 9, entry(0x41, 8))
+        shadows.install(2, 0, entry(0x42, 9))
+        assert shadows.drop_asid(1) == 2
+        assert shadows.lookup(2, 0, 0x42) is not None
+        # Frame index cleaned: invalidating the dropped frame is a no-op.
+        assert shadows.invalidate_frame(7) == []
+
+    def test_flush_all(self):
+        shadows = MultiShadow()
+        shadows.install(1, 0, entry(0x40, 7))
+        shadows.install(2, 3, entry(0x41, 8))
+        assert shadows.flush_all() == 2
+        assert shadows.entry_count() == 0
+        assert shadows.mappings_of_frame(7) == set()
+
+    def test_reinstall_same_vpn_updates_frame_index(self):
+        shadows = MultiShadow()
+        shadows.install(1, 0, entry(0x40, 7))
+        shadows.install(1, 0, entry(0x40, 8))  # remapped to a new frame
+        # Old frame 7 must not retain a phantom mapping.
+        assert shadows.mappings_of_frame(7) == set()
+        assert shadows.mappings_of_frame(8) == {(1, 0, 0x40)}
+        shadows.invalidate_vpn(1, 0x40)
+        assert shadows.mappings_of_frame(8) == set()
+
+
+def test_stats_counted():
+    from repro.hw.cycles import StatCounters
+
+    stats = StatCounters()
+    shadows = MultiShadow(stats)
+    shadows.lookup(1, 0, 0x40)
+    shadows.install(1, 0, entry(0x40, 7))
+    shadows.lookup(1, 0, 0x40)
+    assert stats.get("shadow.misses") == 1
+    assert stats.get("shadow.hits") == 1
+    assert stats.get("shadow.fills") == 1

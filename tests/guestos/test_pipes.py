@@ -1,0 +1,90 @@
+"""Unit tests for pipe buffers and blocking semantics."""
+
+import pytest
+
+from repro.guestos.pipes import Pipe
+
+
+def open_pipe():
+    pipe = Pipe(capacity=16)
+    pipe.add_reader()
+    pipe.add_writer()
+    return pipe
+
+
+class TestReadWrite:
+    def test_write_then_read(self):
+        pipe = open_pipe()
+        assert pipe.write(b"hello") == 5
+        assert pipe.read(5) == b"hello"
+
+    def test_read_order_fifo(self):
+        pipe = open_pipe()
+        pipe.write(b"abc")
+        pipe.write(b"def")
+        assert pipe.read(4) == b"abcd"
+        assert pipe.read(10) == b"ef"
+
+    def test_partial_write_when_near_full(self):
+        pipe = open_pipe()
+        assert pipe.write(b"x" * 20) == 16  # capacity
+        assert pipe.space == 0
+
+    def test_write_blocks_when_full(self):
+        pipe = open_pipe()
+        pipe.write(b"x" * 16)
+        assert pipe.write(b"y") is None
+
+    def test_read_blocks_when_empty_with_writers(self):
+        pipe = open_pipe()
+        assert pipe.read(4) is None
+
+    def test_read_eof_after_writers_gone(self):
+        pipe = open_pipe()
+        pipe.write(b"last")
+        pipe.drop_writer()
+        assert pipe.read(10) == b"last"  # drain first
+        assert pipe.read(10) == b""      # then EOF
+
+    def test_reader_before_any_writer_blocks(self):
+        """A FIFO reader arriving first must wait, not see EOF."""
+        pipe = Pipe()
+        pipe.add_reader()
+        assert pipe.read(4) is None
+        pipe.add_writer()
+        pipe.drop_writer()
+        assert pipe.read(4) == b""  # now EOF is meaningful
+
+    def test_write_without_reader_raises(self):
+        pipe = Pipe()
+        pipe.add_writer()
+        with pytest.raises(BrokenPipeError):
+            pipe.write(b"x")
+
+    def test_zero_sized_ops(self):
+        pipe = open_pipe()
+        assert pipe.read(0) == b""
+        assert pipe.write(b"") == 0
+
+
+class TestEndpoints:
+    def test_counts(self):
+        pipe = open_pipe()
+        pipe.add_reader()
+        assert pipe.readers == 2
+        pipe.drop_reader()
+        pipe.drop_reader()
+        assert pipe.readers == 0
+
+    def test_underflow_rejected(self):
+        pipe = Pipe()
+        with pytest.raises(ValueError):
+            pipe.drop_reader()
+        with pytest.raises(ValueError):
+            pipe.drop_writer()
+
+    def test_bytes_transferred_counter(self):
+        pipe = open_pipe()
+        pipe.write(b"12345")
+        pipe.read(5)
+        assert pipe.bytes_transferred == 5

@@ -1,0 +1,108 @@
+"""rename(2) through the whole stack, native and cloaked."""
+
+import pytest
+
+from repro.apps.program import Program
+from repro.guestos import uapi
+from repro.machine import Machine
+
+
+class RenameProg(Program):
+    name = "renameprog"
+
+    def main(self, ctx):
+        old_vaddr, old_len = yield from ctx.put_string("/before.txt")
+        new_vaddr, new_len = yield from ctx.put_string("/after.txt")
+
+        fd = yield ctx.open(old_vaddr, old_len, uapi.O_CREAT | uapi.O_RDWR)
+        yield from ctx.write_bytes(fd, b"contents travel")
+        yield ctx.close(fd)
+
+        result = yield ctx.rename(old_vaddr, old_len, new_vaddr, new_len)
+        gone = yield ctx.stat(old_vaddr, old_len)
+        fd = yield ctx.open(new_vaddr, new_len, uapi.O_RDONLY)
+        data = yield from ctx.read_bytes(fd, 64)
+        yield ctx.close(fd)
+        yield from ctx.print(f"{result},{gone},{data.decode()}\n")
+        return 0
+
+
+@pytest.mark.parametrize("cloaked", [False, True], ids=["native", "cloaked"])
+def test_rename_end_to_end(cloaked):
+    machine = Machine.build()
+    machine.register(RenameProg, cloaked=cloaked)
+    result = machine.run_program("renameprog")
+    assert result.exit_code == 0
+    assert result.text.strip() == f"0,{-uapi.ENOENT},contents travel"
+    assert not machine.violations
+
+
+class TestRenameSemantics:
+    def _vfs(self):
+        machine = Machine.build()
+        return machine.kernel.vfs, machine.kernel.fs
+
+    def test_replaces_existing_file(self):
+        vfs, fs = self._vfs()
+        a = vfs.create_file("/a")
+        fs.write(a, 0, b"A")
+        b = vfs.create_file("/b")
+        fs.write(b, 0, b"B")
+        vfs.rename("/a", "/b")
+        assert not vfs.exists("/a")
+        assert fs.read(vfs.resolve("/b"), 0, 1) == b"A"
+
+    def test_moves_across_directories(self):
+        vfs, fs = self._vfs()
+        vfs.mkdir("/src")
+        vfs.mkdir("/dst")
+        inode = vfs.create_file("/src/f")
+        fs.write(inode, 0, b"x")
+        vfs.rename("/src/f", "/dst/g")
+        assert vfs.resolve("/dst/g") is inode
+        assert vfs.readdir("/src") == []
+
+    def test_missing_source_enoent(self):
+        from repro.guestos.vfs import VFSError
+
+        vfs, __ = self._vfs()
+        with pytest.raises(VFSError) as exc:
+            vfs.rename("/ghost", "/anywhere")
+        assert exc.value.errno == uapi.ENOENT
+
+    def test_cannot_replace_directory(self):
+        from repro.guestos.vfs import VFSError
+
+        vfs, __ = self._vfs()
+        vfs.create_file("/f")
+        vfs.mkdir("/d")
+        with pytest.raises(VFSError) as exc:
+            vfs.rename("/f", "/d")
+        assert exc.value.errno == uapi.EISDIR
+
+    def test_rename_onto_itself_is_noop(self):
+        vfs, fs = self._vfs()
+        inode = vfs.create_file("/same")
+        fs.write(inode, 0, b"ok")
+        vfs.rename("/same", "/same")
+        assert fs.read(vfs.resolve("/same"), 0, 2) == b"ok"
+
+    def test_protected_file_rename_keeps_data_readable(self):
+        """Renaming a protected file must not break its bindings —
+        file metadata keys by inode, which rename preserves."""
+        from repro.bench.runner import fresh_machine, measure_program
+
+        machine = fresh_machine(cloaked=True, programs=("filestreamer",))
+        args = ("/secure/orig.bin", "4096", "16384")
+        measure_program(machine, "filestreamer", ("write",) + args)
+        machine.kernel.vfs.rename("/secure/orig.bin", "/secure/moved.bin")
+        read_args = ("/secure/moved.bin", "4096", "16384")
+        result = measure_program(machine, "filestreamer",
+                                 ("read",) + read_args)
+        assert "read 16384" in result.text
+        import hashlib
+
+        # Same-identity reader gets the original bytes back, not zeros.
+        expected = (hashlib.sha256(b"/secure/orig.bin").digest() * 513)[:16384]
+        assert hashlib.sha256(expected).hexdigest()[:16] in result.text
+        assert not machine.violations

@@ -1,0 +1,179 @@
+"""Unit tests for the scheduler and process/address-space structures."""
+
+import pytest
+
+from repro.guestos import layout
+from repro.guestos.process import AddressSpace, OpenFile, Process, ProcessState, VMA
+from repro.guestos.scheduler import Scheduler
+from repro.hw.phys import FrameAllocator, PhysicalMemory
+
+
+def make_proc(pid):
+    return Process(pid, 0, f"p{pid}", aspace_stub(), runtime=None)
+
+
+def aspace_stub():
+    phys = PhysicalMemory(64)
+    alloc = FrameAllocator(64)
+    return AddressSpace(pid_counter(), phys, alloc, lambda a, v: None)
+
+
+_counter = [100]
+
+
+def pid_counter():
+    _counter[0] += 1
+    return _counter[0]
+
+
+class TestScheduler:
+    def test_round_robin_order(self):
+        sched = Scheduler()
+        procs = [make_proc(i) for i in range(3)]
+        for proc in procs:
+            sched.enqueue(proc)
+        assert sched.pick() is procs[0]
+        sched.requeue(procs[0])
+        assert sched.pick() is procs[1]
+
+    def test_pick_empty(self):
+        assert Scheduler().pick() is None
+
+    def test_block_removes_from_queue(self):
+        sched = Scheduler()
+        proc = make_proc(1)
+        sched.enqueue(proc)
+        sched.block(proc)
+        assert sched.pick() is None
+        assert proc.state is ProcessState.BLOCKED
+
+    def test_wake_requeues(self):
+        sched = Scheduler()
+        proc = make_proc(1)
+        sched.enqueue(proc)
+        sched.block(proc)
+        sched.wake(proc)
+        assert sched.pick() is proc
+
+    def test_wake_of_running_is_noop(self):
+        sched = Scheduler()
+        proc = make_proc(1)
+        sched.enqueue(proc)
+        assert sched.pick() is proc
+        sched.wake(proc)  # not blocked: ignored
+        assert sched.pick() is None
+
+    def test_zombie_never_enqueued(self):
+        sched = Scheduler()
+        proc = make_proc(1)
+        proc.state = ProcessState.ZOMBIE
+        sched.enqueue(proc)
+        assert sched.pick() is None
+
+    def test_double_enqueue_single_entry(self):
+        sched = Scheduler()
+        proc = make_proc(1)
+        sched.enqueue(proc)
+        sched.enqueue(proc)
+        assert sched.pick() is proc
+        assert sched.pick() is None
+
+
+class TestVMA:
+    def test_contains(self):
+        vma = VMA(0x100, 4)
+        assert 0x100 in vma and 0x103 in vma
+        assert 0x104 not in vma
+
+    def test_overlap(self):
+        vma = VMA(0x100, 4)
+        assert vma.overlaps(0x102, 0x110)
+        assert not vma.overlaps(0x104, 0x110)
+
+    def test_file_page_of(self):
+        vma = VMA(0x100, 4, kind=VMA.FILE, inode_id=7, file_page=10)
+        assert vma.file_page_of(0x102) == 12
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            VMA(0x100, 0)
+
+
+class TestAddressSpace:
+    def test_vma_overlap_rejected(self):
+        aspace = aspace_stub()
+        aspace.add_vma(VMA(0x100, 4))
+        with pytest.raises(ValueError):
+            aspace.add_vma(VMA(0x102, 4))
+
+    def test_find_vma(self):
+        aspace = aspace_stub()
+        vma = aspace.add_vma(VMA(0x100, 4))
+        assert aspace.find_vma(0x101) is vma
+        assert aspace.find_vma(0x200) is None
+
+    def test_map_unmap(self):
+        aspace = aspace_stub()
+        aspace.map_page(0x100, 7, writable=True)
+        assert aspace.is_mapped(0x100)
+        assert aspace.frame_of(0x100) == 7
+        assert aspace.unmap_page(0x100) == 7
+        assert not aspace.is_mapped(0x100)
+
+    def test_invlpg_callback_fires(self):
+        calls = []
+        phys = PhysicalMemory(64)
+        alloc = FrameAllocator(64)
+        aspace = AddressSpace(5, phys, alloc,
+                              lambda a, v: calls.append((a, v)))
+        aspace.map_page(0x42, 3, writable=True)
+        assert (5, 0x42) in calls
+
+    def test_mmap_region_allocation_monotonic(self):
+        aspace = aspace_stub()
+        first = aspace.alloc_mmap_region(4)
+        second = aspace.alloc_mmap_region(4)
+        assert second >= first + 4 * 4096
+
+    def test_destroy_frees_frames(self):
+        phys = PhysicalMemory(64)
+        alloc = FrameAllocator(64)
+        aspace = AddressSpace(5, phys, alloc, lambda a, v: None)
+        used_before = alloc.used_count
+        pfn = alloc.alloc()
+        aspace.map_page(0x100, pfn, writable=True)
+        aspace.destroy()
+        assert alloc.used_count == used_before - 1  # root freed too
+
+    def test_destroy_keeps_shared_frames(self):
+        phys = PhysicalMemory(64)
+        alloc = FrameAllocator(64)
+        aspace = AddressSpace(5, phys, alloc, lambda a, v: None)
+        shared = alloc.alloc()
+        aspace.map_page(0x100, shared, writable=True)
+        aspace.destroy(keep_frames={shared})
+        assert alloc.is_allocated(shared)
+
+
+class TestProcessFds:
+    def test_alloc_fd_monotonic(self):
+        proc = make_proc(1)
+        a = proc.alloc_fd(OpenFile(OpenFile.NULL))
+        b = proc.alloc_fd(OpenFile(OpenFile.NULL))
+        assert b == a + 1
+
+    def test_alloc_fd_skips_taken(self):
+        proc = make_proc(1)
+        proc.fds[3] = OpenFile(OpenFile.NULL)
+        proc.next_fd = 3
+        assert proc.alloc_fd(OpenFile(OpenFile.NULL)) == 4
+
+
+def test_layout_helpers():
+    assert layout.vpn_of(0x1000) == 1
+    assert layout.vaddr_of(3) == 0x3000
+    assert layout.page_count(1) == 1
+    assert layout.page_count(4096) == 1
+    assert layout.page_count(4097) == 2
+    assert layout.pages_spanned(0xFFF, 2) == 2
+    assert layout.pages_spanned(0x1000, 0) == 0

@@ -1,0 +1,157 @@
+"""Tests for the page-reclaim / swap subsystem — and for the cloaking
+protocol's behaviour under it (swapping is the threat model's
+most-exercised *legitimate* kernel behaviour)."""
+
+import pytest
+
+from repro.apps.program import Program
+from repro.bench.runner import fresh_machine, measure_program
+from repro.hw.params import MachineParams, PAGE_SIZE
+from repro.machine import Machine
+
+
+def pressure_params(interval=50_000, batch=8):
+    return MachineParams(reclaim_interval_cycles=interval,
+                         reclaim_batch_pages=batch,
+                         timeslice_cycles=40_000)
+
+
+class TestReclaimMechanics:
+    def test_reclaim_frees_frames(self):
+        machine = Machine.build()
+
+        class Toucher(Program):
+            name = "toucher"
+
+            def main(self, ctx):
+                base = ctx.scratch(8 * PAGE_SIZE)
+                for page in range(8):
+                    yield ctx.store(base + page * PAGE_SIZE, b"T")
+                yield from ctx.print("touched\n")
+                yield ctx.sched_yield()
+                return 0
+
+        machine.register(Toucher)
+        proc = machine.spawn("toucher")
+        machine.run_until_output(proc.pid, b"touched\n")
+        used_before = machine.alloc.used_count
+        evicted = machine.kernel.reclaimer.reclaim(4)
+        assert evicted == 4
+        assert machine.alloc.used_count == used_before - 4
+        machine.run()
+        assert proc.exit_code == 0
+
+    def test_swapped_page_faults_back_with_contents(self):
+        machine = Machine.build()
+
+        class RoundTrip(Program):
+            name = "roundtrip"
+
+            def __init__(self):
+                self.base = None
+
+            def main(self, ctx):
+                self.base = ctx.scratch(PAGE_SIZE)
+                yield ctx.store(self.base, b"survives swap")
+                yield from ctx.print("stored\n")
+                yield ctx.sched_yield()
+                data = yield ctx.load(self.base, 13)
+                yield from ctx.print("ok\n" if data == b"survives swap"
+                                     else "lost\n")
+                return 0
+
+        machine.register(RoundTrip)
+        proc = machine.spawn("roundtrip")
+        machine.run_until_output(proc.pid, b"stored\n")
+        # Evict everything the process has.
+        machine.kernel.reclaimer.reclaim(100)
+        assert not proc.aspace.is_mapped(proc.runtime.program.base >> 12)
+        machine.run()
+        assert "ok" in machine.kernel.console.text_of(proc.pid)
+
+    def test_file_pages_not_reclaimed(self):
+        """The reclaimer targets anonymous memory; page-cache frames
+        are the filesystem's to evict."""
+        machine = fresh_machine(programs=("filestreamer",))
+        measure_program(machine, "filestreamer",
+                        ("write", "/f.bin", "4096", "16384"))
+        inode = machine.kernel.vfs.resolve("/f.bin")
+        pages_before = dict(inode.pages)
+        machine.kernel.reclaimer.reclaim(100)
+        assert inode.pages == pages_before
+
+    def test_swap_slots_freed_on_exit(self):
+        machine = Machine.build()
+
+        class Short(Program):
+            name = "short"
+
+            def main(self, ctx):
+                base = ctx.scratch(4 * PAGE_SIZE)
+                for page in range(4):
+                    yield ctx.store(base + page * PAGE_SIZE, b"x")
+                yield from ctx.print("go\n")
+                yield ctx.sched_yield()
+                return 0
+
+        machine.register(Short)
+        proc = machine.spawn("short")
+        machine.run_until_output(proc.pid, b"go\n")
+        free_before = machine.kernel.cache.free_blocks
+        machine.kernel.reclaimer.reclaim(4)
+        assert machine.kernel.cache.free_blocks < free_before
+        machine.run()
+        assert machine.kernel.cache.free_blocks == free_before
+
+
+class TestCloakedSwap:
+    def test_cloaked_workload_survives_heavy_pressure(self):
+        machine = fresh_machine(cloaked=True, params=pressure_params())
+        result = measure_program(machine, "memwalk", ("24", "10", "1500"))
+        assert "walked" in result.text
+        assert not machine.violations
+        assert result.stats.get("kernel.pages_swapped_in", 0) > 0
+
+    def test_swap_space_holds_only_ciphertext(self):
+        from repro.apps.secrets import SECRET, SecretHolder
+
+        machine = Machine.build()
+        machine.register(SecretHolder, cloaked=True)
+        proc = machine.spawn("secretholder", ("8",))
+        machine.run_until_output(proc.pid, b"ready\n")
+        machine.kernel.reclaimer.reclaim(100)
+        # Scan the whole disk: the secret must not be at rest anywhere.
+        for lba in range(machine.disk.num_blocks):
+            if machine.disk.read_block(lba) != bytes(PAGE_SIZE):
+                assert SECRET not in machine.disk.read_block(lba)
+        machine.run()
+        assert "intact" in machine.kernel.console.text_of(proc.pid)
+
+    def test_frame_reuse_does_not_corrupt_plaintext_index(self):
+        """Regression: a freed-and-reused frame with a stale
+        resident_gpfn must not evict another page's entry from the
+        plaintext-frame index (found by the R-F5 pressure sweep)."""
+        machine = fresh_machine(cloaked=True,
+                                params=pressure_params(interval=60_000))
+        result = measure_program(machine, "memwalk", ("24", "10", "1500"))
+        assert "walked" in result.text
+        assert not machine.violations
+        # The failure mode was plaintext leaking to swap, then an
+        # IntegrityViolation at the next verify.
+        assert result.stats.get("cloak.violations", 0) == 0
+
+    def test_native_swap_leaks_plaintext_to_disk(self):
+        """Baseline contrast: without cloaking, swap space holds the
+        application's plaintext."""
+        from repro.apps.secrets import SECRET, SecretHolder
+
+        machine = Machine.build()
+        machine.register(SecretHolder, cloaked=False)
+        proc = machine.spawn("secretholder", ("8",))
+        machine.run_until_output(proc.pid, b"ready\n")
+        machine.kernel.reclaimer.reclaim(100)
+        leaked = any(
+            SECRET in machine.disk.read_block(lba)
+            for lba in range(machine.disk.num_blocks)
+        )
+        assert leaked

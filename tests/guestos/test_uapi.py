@@ -1,0 +1,67 @@
+"""Unit tests for the user/kernel ABI module."""
+
+import pytest
+
+from repro.guestos import uapi
+
+
+class TestErrno:
+    def test_names(self):
+        assert uapi.errno_name(uapi.ENOENT) == "ENOENT"
+        assert uapi.errno_name(-uapi.EBADF) == "EBADF"
+        assert uapi.errno_name(12345) == "E#12345"
+
+    def test_values_distinct(self):
+        values = [uapi.EPERM, uapi.ENOENT, uapi.EBADF, uapi.EINVAL,
+                  uapi.ENOMEM, uapi.EPIPE, uapi.ENOSYS]
+        assert len(set(values)) == len(values)
+
+
+class TestSyscallNumbers:
+    def test_all_distinct(self):
+        numbers = [s.value for s in uapi.Syscall]
+        assert len(set(numbers)) == len(numbers)
+
+    def test_flags_composable(self):
+        flags = uapi.O_CREAT | uapi.O_RDWR | uapi.O_TRUNC
+        assert flags & uapi.O_ACCMODE == uapi.O_RDWR
+        assert flags & uapi.O_CREAT
+        assert not flags & uapi.O_APPEND
+
+
+class TestOps:
+    def test_syscall_op_defaults(self):
+        op = uapi.SyscallOp(uapi.Syscall.GETPID)
+        assert op.args == () and op.extra is None
+
+    def test_ops_are_slotted(self):
+        op = uapi.Load(0x100, 4)
+        with pytest.raises(AttributeError):
+            op.bogus = 1
+
+    def test_signal_classification(self):
+        assert uapi.SIGKILL in uapi.FATAL_SIGNALS
+        assert uapi.SIGCHLD in uapi.IGNORED_SIGNALS
+        assert uapi.SIGUSR1 not in uapi.FATAL_SIGNALS
+
+
+class TestWaitChannel:
+    def test_add_idempotent(self):
+        channel = uapi.WaitChannel("t")
+        marker = object()
+        channel.add(marker)
+        channel.add(marker)
+        assert channel.take_all() == [marker]
+
+    def test_take_all_drains(self):
+        channel = uapi.WaitChannel("t")
+        channel.add(object())
+        channel.take_all()
+        assert channel.take_all() == []
+
+
+class TestBlocked:
+    def test_carries_channel(self):
+        channel = uapi.WaitChannel("t")
+        blocked = uapi.Blocked(channel)
+        assert blocked.channel is channel

@@ -1,0 +1,185 @@
+"""Unit and property tests for the filesystem stack (VFS + RamFS +
+block cache), without any processes involved."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.guestos import uapi
+from repro.guestos.blockcache import BlockCache, PassthroughDMA
+from repro.guestos.ramfs import InodeType, RamFS
+from repro.guestos.vfs import VFS, VFSError
+from repro.hw.cycles import CycleAccount
+from repro.hw.disk import Disk
+from repro.hw.params import CostTable, PAGE_SIZE
+from repro.hw.phys import FrameAllocator, PhysicalMemory
+
+
+@pytest.fixture
+def vfs():
+    phys = PhysicalMemory(256)
+    alloc = FrameAllocator(256)
+    disk = Disk(512, PAGE_SIZE)
+    cache = BlockCache(disk, PassthroughDMA(phys))
+    fs = RamFS(phys, alloc, cache, CycleAccount(), CostTable())
+    return VFS(fs)
+
+
+class TestPaths:
+    def test_root_resolves(self, vfs):
+        assert vfs.resolve("/").itype is InodeType.DIRECTORY
+
+    def test_devices_exist(self, vfs):
+        assert vfs.resolve("/dev/console").device == "console"
+        assert vfs.resolve("/dev/null").device == "null"
+
+    def test_create_and_resolve(self, vfs):
+        inode = vfs.create_file("/a.txt")
+        assert vfs.resolve("/a.txt") is inode
+
+    def test_nested_paths(self, vfs):
+        vfs.mkdir("/d1")
+        vfs.mkdir("/d1/d2")
+        vfs.create_file("/d1/d2/deep.txt")
+        assert vfs.resolve("/d1/d2/deep.txt").itype is InodeType.REGULAR
+
+    def test_missing_raises_enoent(self, vfs):
+        with pytest.raises(VFSError) as exc:
+            vfs.resolve("/nope")
+        assert exc.value.errno == uapi.ENOENT
+
+    def test_file_as_directory_raises_enotdir(self, vfs):
+        vfs.create_file("/f")
+        with pytest.raises(VFSError) as exc:
+            vfs.resolve("/f/child")
+        assert exc.value.errno == uapi.ENOTDIR
+
+    def test_duplicate_create_raises_eexist(self, vfs):
+        vfs.create_file("/f")
+        with pytest.raises(VFSError) as exc:
+            vfs.create_file("/f")
+        assert exc.value.errno == uapi.EEXIST
+
+    def test_unlink(self, vfs):
+        vfs.create_file("/gone")
+        vfs.unlink("/gone")
+        assert not vfs.exists("/gone")
+
+    def test_unlink_nonempty_dir_rejected(self, vfs):
+        vfs.mkdir("/d")
+        vfs.create_file("/d/f")
+        with pytest.raises(VFSError) as exc:
+            vfs.unlink("/d")
+        assert exc.value.errno == uapi.ENOTEMPTY
+
+    def test_unlink_empty_dir(self, vfs):
+        vfs.mkdir("/d")
+        vfs.unlink("/d")
+        assert not vfs.exists("/d")
+
+    def test_readdir_sorted(self, vfs):
+        for name in ("zeta", "alpha", "mid"):
+            vfs.create_file(f"/{name}")
+        names = vfs.readdir("/")
+        assert names == sorted(names)
+        assert {"zeta", "alpha", "mid"} <= set(names)
+
+    def test_mkfifo(self, vfs):
+        inode = vfs.mkfifo("/fifo")
+        assert inode.itype is InodeType.FIFO
+        assert inode.pipe is not None
+
+    def test_stat(self, vfs):
+        inode = vfs.create_file("/s")
+        vfs.fs.write(inode, 0, b"12345")
+        itype, size, inode_id = vfs.stat(inode)
+        assert itype == uapi.S_IFREG
+        assert size == 5
+        assert inode_id == inode.inode_id
+
+
+class TestDataPath:
+    def test_write_read_roundtrip(self, vfs):
+        inode = vfs.create_file("/data")
+        vfs.fs.write(inode, 0, b"hello world")
+        assert vfs.fs.read(inode, 0, 100) == b"hello world"
+
+    def test_sparse_write_reads_zeros(self, vfs):
+        inode = vfs.create_file("/sparse")
+        vfs.fs.write(inode, 10_000, b"tail")
+        data = vfs.fs.read(inode, 0, 10_004)
+        assert data[:10_000] == bytes(10_000)
+        assert data[-4:] == b"tail"
+
+    def test_cross_page_write(self, vfs):
+        inode = vfs.create_file("/big")
+        payload = bytes(range(256)) * 48  # 12 KiB, three pages
+        vfs.fs.write(inode, 100, payload)
+        assert vfs.fs.read(inode, 100, len(payload)) == payload
+
+    def test_read_past_eof_truncated(self, vfs):
+        inode = vfs.create_file("/short")
+        vfs.fs.write(inode, 0, b"abc")
+        assert vfs.fs.read(inode, 2, 100) == b"c"
+        assert vfs.fs.read(inode, 3, 100) == b""
+
+    def test_truncate_shrink_and_regrow(self, vfs):
+        inode = vfs.create_file("/t")
+        vfs.fs.write(inode, 0, b"x" * 100)
+        vfs.fs.truncate(inode, 10)
+        assert inode.size == 10
+        vfs.fs.write(inode, 50, b"y")
+        # The re-exposed gap must be zeros, not stale bytes.
+        data = vfs.fs.read(inode, 0, 51)
+        assert data[:10] == b"x" * 10
+        assert data[10:50] == bytes(40)
+
+    def test_truncate_frees_whole_pages(self, vfs):
+        inode = vfs.create_file("/t2")
+        vfs.fs.write(inode, 0, b"z" * (3 * PAGE_SIZE))
+        assert len(inode.pages) == 3
+        vfs.fs.truncate(inode, 10)
+        assert len(inode.pages) == 1
+
+
+class TestPersistence:
+    def test_writeback_and_evict_roundtrip(self, vfs):
+        inode = vfs.create_file("/persist")
+        payload = b"durable data" * 100
+        vfs.fs.write(inode, 0, payload)
+        assert vfs.fs.evict(inode) > 0
+        assert inode.pages == {}
+        assert vfs.fs.read(inode, 0, len(payload)) == payload
+
+    def test_drop_inode_frees_disk_blocks(self, vfs):
+        inode = vfs.create_file("/temp")
+        vfs.fs.write(inode, 0, b"x" * (2 * PAGE_SIZE))
+        vfs.fs.writeback(inode)
+        free_before = vfs.fs._cache.free_blocks
+        vfs.unlink("/temp")
+        assert vfs.fs._cache.free_blocks == free_before + 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3 * PAGE_SIZE),
+                  st.binary(min_size=1, max_size=600)),
+        min_size=1, max_size=12,
+    )
+)
+def test_ramfs_matches_bytearray_model(writes):
+    """RamFS write/read agrees with a plain bytearray model."""
+    phys = PhysicalMemory(256)
+    alloc = FrameAllocator(256)
+    cache = BlockCache(Disk(512, PAGE_SIZE), PassthroughDMA(phys))
+    fs = RamFS(phys, alloc, cache, CycleAccount(), CostTable())
+    inode = fs.new_inode(InodeType.REGULAR)
+
+    model = bytearray()
+    for offset, data in writes:
+        fs.write(inode, offset, data)
+        if len(model) < offset + len(data):
+            model.extend(bytes(offset + len(data) - len(model)))
+        model[offset : offset + len(data)] = data
+    assert inode.size == len(model)
+    assert fs.read(inode, 0, len(model) + 10) == bytes(model)

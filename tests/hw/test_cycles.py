@@ -1,0 +1,90 @@
+"""Unit tests for the cycle ledger and stat counters."""
+
+import pytest
+
+from repro.hw.cycles import CycleAccount, StatCounters
+
+
+class TestCycleAccount:
+    def test_charges_accumulate(self):
+        acct = CycleAccount()
+        acct.charge("user", 10)
+        acct.charge("user", 5)
+        acct.charge("vmm", 3)
+        assert acct.total == 18
+        assert acct.get("user") == 15
+        assert acct.get("vmm") == 3
+        assert acct.get("unknown") == 0
+
+    def test_zero_charge_is_noop(self):
+        acct = CycleAccount()
+        acct.charge("user", 0)
+        assert acct.total == 0
+        assert acct.breakdown() == {}
+
+    def test_negative_charge_rejected(self):
+        acct = CycleAccount()
+        with pytest.raises(ValueError):
+            acct.charge("user", -1)
+
+    def test_snapshot_since(self):
+        acct = CycleAccount()
+        acct.charge("user", 10)
+        snap = acct.snapshot()
+        acct.charge("user", 7)
+        acct.charge("crypto", 2)
+        delta = acct.since(snap)
+        assert delta.total == 9
+        assert delta.get("user") == 7
+        assert delta.get("crypto") == 2
+        assert delta.get("vmm") == 0
+
+    def test_delta_fraction(self):
+        acct = CycleAccount()
+        snap = acct.snapshot()
+        acct.charge("a", 30)
+        acct.charge("b", 70)
+        delta = acct.since(snap)
+        assert delta.fraction("a") == pytest.approx(0.3)
+        assert delta.fraction("b") == pytest.approx(0.7)
+
+    def test_empty_delta_fraction(self):
+        acct = CycleAccount()
+        delta = acct.since(acct.snapshot())
+        assert delta.fraction("a") == 0.0
+
+    def test_reset(self):
+        acct = CycleAccount()
+        acct.charge("user", 10)
+        acct.reset()
+        assert acct.total == 0
+
+    def test_breakdown_is_a_copy(self):
+        acct = CycleAccount()
+        acct.charge("user", 1)
+        acct.breakdown()["user"] = 999
+        assert acct.get("user") == 1
+
+
+class TestStatCounters:
+    def test_bump_and_get(self):
+        stats = StatCounters()
+        stats.bump("faults")
+        stats.bump("faults", 4)
+        assert stats.get("faults") == 5
+        assert stats.get("other") == 0
+
+    def test_since(self):
+        stats = StatCounters()
+        stats.bump("a", 2)
+        snap = stats.snapshot()
+        stats.bump("a")
+        stats.bump("b", 3)
+        delta = stats.since(snap)
+        assert delta == {"a": 1, "b": 3}
+
+    def test_reset(self):
+        stats = StatCounters()
+        stats.bump("x")
+        stats.reset()
+        assert stats.as_dict() == {}

@@ -1,0 +1,86 @@
+"""Tests for the cloaking tracer."""
+
+import pytest
+
+from repro.apps.secrets import SecretHolder
+from repro.bench.runner import fresh_machine, measure_program
+from repro.hw.mmu import MODE_KERNEL, SYSTEM_VIEW
+from repro.machine import Machine
+from repro.trace import Tracer
+
+
+def traced_secret_run():
+    machine = Machine.build()
+    machine.register(SecretHolder, cloaked=True)
+    tracer = Tracer.attach(machine)
+    proc = machine.spawn("secretholder", ("6",))
+    machine.run_until_output(proc.pid, b"ready\n")
+    vaddr = proc.runtime.program.secret_vaddr
+    machine.mmu.set_context(proc.asid, SYSTEM_VIEW, MODE_KERNEL)
+    machine.mmu.read(vaddr, 8)   # force encrypt
+    machine.run()
+    tracer.detach()
+    return machine, tracer, proc
+
+
+class TestTracer:
+    def test_records_transitions(self):
+        machine, tracer, proc = traced_secret_run()
+        counts = tracer.counts()
+        assert counts.get("zero-fill", 0) >= 1
+        assert counts.get("encrypt", 0) + counts.get("ct-restore", 0) >= 1
+        assert counts.get("decrypt", 0) >= 1
+        # Victim finished fine under tracing.
+        assert "intact" in machine.kernel.console.text_of(proc.pid)
+
+    def test_events_are_timestamped_monotonically(self):
+        __, tracer, __p = traced_secret_run()
+        cycles = [event.cycle for event in tracer.events]
+        assert cycles == sorted(cycles)
+
+    def test_hottest_pages_include_secret_page(self):
+        __, tracer, proc = traced_secret_run()
+        secret_vpn = proc.runtime.program.secret_vaddr >> 12
+        assert any(vpn == secret_vpn for __, vpn, __c in tracer.hottest_pages())
+
+    def test_summary_and_timeline_render(self):
+        __, tracer, __p = traced_secret_run()
+        summary = tracer.render_summary()
+        assert "cloaking trace summary" in summary
+        assert "hottest pages" in summary
+        timeline = tracer.render_timeline()
+        assert "|" in timeline and "*" in timeline
+
+    def test_crypto_estimate_positive(self):
+        __, tracer, __p = traced_secret_run()
+        assert tracer.crypto_cycle_estimate() > 0
+
+    def test_detach_restores_engine(self):
+        machine = Machine.build()
+        engine = machine.vmm.cloak
+        tracer = Tracer.attach(machine)
+        assert "_encrypt" in engine.__dict__  # wrapper installed
+        tracer.detach()
+        assert "_encrypt" not in engine.__dict__  # class method restored
+
+    def test_context_manager(self):
+        machine = fresh_machine(cloaked=True)
+        engine = machine.vmm.cloak
+        with Tracer(machine) as tracer:
+            measure_program(machine, "matmul")
+            assert isinstance(tracer.counts(), dict)
+        assert "_encrypt" not in engine.__dict__
+
+    def test_empty_trace_renders(self):
+        machine = Machine.build()
+        tracer = Tracer.attach(machine)
+        tracer.detach()
+        assert "no cloaking transitions" in tracer.render_summary()
+        assert tracer.render_timeline() == "(empty trace)"
+
+    def test_double_attach_rejected(self):
+        machine = Machine.build()
+        tracer = Tracer.attach(machine)
+        with pytest.raises(RuntimeError):
+            tracer._install()
+        tracer.detach()
