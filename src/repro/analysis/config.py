@@ -1,0 +1,69 @@
+"""Configuration: the ``[tool.repro-analysis]`` block of pyproject.toml.
+
+Keys (all optional):
+
+* ``paths``    — list of paths to analyse (default: ``["src/repro"]``)
+* ``baseline`` — baseline file location (default:
+  ``tests/analysis/baseline.json``)
+
+CLI arguments always win over the config file.  ``tomllib`` ships with
+Python 3.11+; on older interpreters the config block is simply ignored
+and the defaults (or explicit CLI arguments) apply.
+"""
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+try:
+    import tomllib
+except ImportError:  # pragma: no cover - Python < 3.11
+    tomllib = None
+
+DEFAULT_PATHS = ["src/repro"]
+DEFAULT_BASELINE = "tests/analysis/baseline.json"
+
+
+@dataclass
+class AnalysisConfig:
+    paths: List[str] = field(default_factory=lambda: list(DEFAULT_PATHS))
+    baseline: str = DEFAULT_BASELINE
+    root: Optional[Path] = None
+
+    @classmethod
+    def load(cls, start: Optional[Path] = None) -> "AnalysisConfig":
+        """Find pyproject.toml at/above ``start`` and read our block."""
+        config = cls()
+        here = (start or Path.cwd()).resolve()
+        candidates = [here] + list(here.parents)
+        for directory in candidates:
+            pyproject = directory / "pyproject.toml"
+            if not pyproject.is_file():
+                continue
+            config.root = directory
+            if tomllib is None:
+                break
+            try:
+                data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+            except (tomllib.TOMLDecodeError, OSError):
+                break
+            block = data.get("tool", {}).get("repro-analysis", {})
+            paths = block.get("paths")
+            if isinstance(paths, list) and paths:
+                config.paths = [str(p) for p in paths]
+            baseline = block.get("baseline")
+            if isinstance(baseline, str) and baseline:
+                config.baseline = baseline
+            break
+        return config
+
+    def resolved_paths(self) -> List[Path]:
+        base = self.root or Path.cwd()
+        return [Path(p) if Path(p).is_absolute() else base / p
+                for p in self.paths]
+
+    def resolved_baseline(self) -> Path:
+        baseline = Path(self.baseline)
+        if baseline.is_absolute():
+            return baseline
+        return (self.root or Path.cwd()) / baseline

@@ -1,0 +1,51 @@
+"""API001: layering on the trusted side of the boundary.
+
+The simulated hardware (``repro.hw``) is the bottom of the stack: it
+must know nothing about the guest OS or the VMM built on top of it,
+or "hardware" behaviour starts depending on software it is supposed to
+be neutral toward.  The TCB (``repro.core``) sits on the hardware and
+may additionally see exactly the guest-*visible* ABI modules
+(``guestos.uapi``, ``guestos.layout``) that the shim has to speak.
+The contract lives in :data:`repro.analysis.matrix.LAYER_MATRIX`.
+"""
+
+from repro.analysis import matrix
+from repro.analysis.engine import ModuleInfo
+from repro.analysis.rules.base import Rule
+
+
+class LayeringRule(Rule):
+    rule_id = "API001"
+    name = "layering"
+    summary = ("hw/ imports only hw/; core/ imports only core/, hw/ and "
+               "the guest ABI modules (uapi, layout)")
+
+    def check(self, mod: ModuleInfo):
+        layer = matrix.owning_package(mod.module, matrix.LAYER_MATRIX)
+        if not layer:
+            return
+        allowed = matrix.LAYER_MATRIX[layer]
+        reported = set()
+        for imported_module, imported_name, node in mod.imports():
+            for target in matrix.import_targets(imported_module, imported_name):
+                if not target.startswith("repro."):
+                    continue
+                if target == "repro":
+                    continue
+                if any(target == a or target.startswith(a + ".")
+                       or a.startswith(target + ".")
+                       for a in allowed):
+                    # The a.startswith(target + ".") arm admits parent
+                    # packages of an allowed module (e.g. importing
+                    # repro.guestos to reach repro.guestos.uapi).
+                    continue
+                key = (node.lineno, target)
+                if key not in reported:
+                    reported.add(key)
+                    yield self.finding(
+                        mod, node,
+                        f"layer '{layer}' must not import '{target}' "
+                        f"(allowed: {', '.join(allowed)}; see "
+                        "repro.analysis.matrix.LAYER_MATRIX)",
+                    )
+                break

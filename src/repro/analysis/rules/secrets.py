@@ -1,0 +1,110 @@
+"""SEC001: no key material or cloaked plaintext in TCB output paths.
+
+``repro.core`` holds the only copies of page keys, keystreams and
+cloaked plaintext.  Printing, logging, or interpolating one of those
+identifiers into a string is how key material ends up in a benchmark
+log or an exception message that the (untrusted, in-model) guest can
+read.  The rule flags any secret-named identifier that flows into a
+``print``/``logging`` call, an f-string, ``str.format`` or a
+``%``-format inside ``repro.core``.
+
+An identifier is secret-named when any ``_``-separated segment of it
+matches :data:`SECRET_WORDS` — ``enc_key``, ``master``, ``keystream``
+hit; ``keyboard`` or ``lineage_id`` do not.
+"""
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.engine import ModuleInfo
+from repro.analysis.rules.base import Rule
+
+SECRET_WORDS = {
+    "key", "keys", "keystream", "secret", "secrets", "master",
+    "plaintext", "passphrase", "password",
+}
+
+CHECKED_PREFIX = "repro.core"
+
+#: Logging-ish call targets (terminal attribute or bare name).
+SINK_CALLS = {"print", "debug", "info", "warning", "error", "critical",
+              "exception", "log"}
+
+
+def _secret_named(identifier: str) -> bool:
+    return any(seg in SECRET_WORDS for seg in identifier.lower().split("_"))
+
+
+def _secret_identifier_in(node: ast.AST) -> Optional[str]:
+    """First secret-named Name/Attribute reached from ``node``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and _secret_named(sub.id):
+            return sub.id
+        if isinstance(sub, ast.Attribute) and _secret_named(sub.attr):
+            return sub.attr
+    return None
+
+
+class SecretHygieneRule(Rule):
+    rule_id = "SEC001"
+    name = "secret-hygiene"
+    summary = ("repro.core must not print/log/format key, keystream or "
+               "plaintext identifiers")
+
+    def check(self, mod: ModuleInfo) -> Iterator:
+        if not (mod.module == CHECKED_PREFIX
+                or mod.module.startswith(CHECKED_PREFIX + ".")):
+            return
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.JoinedStr):
+                for value in node.values:
+                    if isinstance(value, ast.FormattedValue):
+                        leaked = _secret_identifier_in(value.value)
+                        if leaked:
+                            yield self.finding(
+                                mod, node,
+                                f"f-string interpolates secret-named "
+                                f"identifier '{leaked}' inside the TCB; "
+                                "never render key material or cloaked "
+                                "plaintext into strings",
+                            )
+                            break
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(mod, node)
+            elif (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod)
+                    and isinstance(node.left, (ast.Constant, ast.JoinedStr))):
+                leaked = _secret_identifier_in(node.right)
+                if leaked:
+                    yield self.finding(
+                        mod, node,
+                        f"%-format would render secret-named identifier "
+                        f"'{leaked}' inside the TCB",
+                    )
+
+    def _check_call(self, mod: ModuleInfo, node: ast.Call):
+        target = None
+        if isinstance(node.func, ast.Name):
+            target = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            target = node.func.attr
+        args = list(node.args) + [kw.value for kw in node.keywords]
+        if target in SINK_CALLS:
+            for arg in args:
+                leaked = _secret_identifier_in(arg)
+                if leaked:
+                    yield self.finding(
+                        mod, node,
+                        f"'{target}' call would emit secret-named "
+                        f"identifier '{leaked}' from the TCB",
+                    )
+                    return
+        elif target == "format" and isinstance(node.func, ast.Attribute):
+            for arg in args:
+                leaked = _secret_identifier_in(arg)
+                if leaked:
+                    yield self.finding(
+                        mod, node,
+                        f"str.format would render secret-named "
+                        f"identifier '{leaked}' inside the TCB",
+                    )
+                    return

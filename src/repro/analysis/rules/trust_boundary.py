@@ -1,0 +1,61 @@
+"""TB001: untrusted code must not import the trusted computing base.
+
+Modules under the attacker-controlled packages (guest OS, attack
+suite, applications) reach the VMM exclusively through architectural
+interfaces — hypercalls and MMU traps.  Any direct import of
+``repro.core`` from those packages collapses the simulated privilege
+boundary, so all of them are findings unless the (package, module)
+pair appears in :data:`repro.analysis.matrix.TRUST_MATRIX`.
+"""
+
+from repro.analysis import matrix
+from repro.analysis.engine import ModuleInfo
+from repro.analysis.rules.base import Rule
+
+
+class TrustBoundaryRule(Rule):
+    rule_id = "TB001"
+    name = "trust-boundary"
+    summary = ("untrusted packages (guestos/attacks/apps) may not import "
+               "repro.core except via the allowed-import matrix")
+
+    def check(self, mod: ModuleInfo):
+        pkg = matrix.owning_package(mod.module, matrix.UNTRUSTED_PACKAGES)
+        if not pkg:
+            return
+        allowed = matrix.TRUST_MATRIX.get(pkg, frozenset())
+        reported = set()
+        for imported_module, imported_name, node in mod.imports():
+            targets = matrix.import_targets(imported_module, imported_name)
+            core_targets = [t for t in targets
+                            if t == "repro.core"
+                            or t.startswith("repro.core.")]
+            if not core_targets:
+                continue
+            # The actually-imported object is the last reading; the
+            # first is its containing module (``from X import name``).
+            # Importing a *member* of an allowed module is allowed;
+            # ``import repro.core`` alone grants nothing protected.
+            target = core_targets[-1]
+            base = core_targets[0]
+            if (target == "repro.core" or base in allowed
+                    or target in allowed
+                    or matrix.owning_package(target, allowed)):
+                continue
+            # Report the offending *module*, so one statement pulling
+            # several names from it yields one finding.
+            if base != target and base != "repro.core":
+                target = base
+            key = (node.lineno, target)
+            if key in reported:
+                continue
+            reported.add(key)
+            protected = matrix.owning_package(target, matrix.PROTECTED_CORE)
+            detail = (f"'{target}' (TCB key/metadata/cloaking internals)"
+                      if protected else f"'{target}' (inside the TCB)")
+            yield self.finding(
+                mod, node,
+                f"untrusted module '{mod.module}' imports {detail}; "
+                "untrusted code reaches the VMM only via hypercalls "
+                "and MMU traps (see repro.analysis.matrix)",
+            )

@@ -25,7 +25,12 @@ CHUNK = 512
 
 
 def _prng(seed: str) -> random.Random:
-    """Deterministic per-kernel PRNG (no global seeding)."""
+    """Deterministic, explicitly seeded PRNG.
+
+    All randomness in the workload suite must flow through here: the
+    module-level ``random`` functions are banned (DET001) because their
+    shared global state makes input bytes depend on execution order.
+    """
     return random.Random(int.from_bytes(hashlib.sha256(seed.encode()).digest()[:8],
                                         "little"))
 
@@ -42,6 +47,12 @@ class ComputeKernel(Program):
 
     def __init__(self, size: int = 0):
         self.size = size or self.default_size
+
+    def rng(self) -> random.Random:
+        """This kernel's input PRNG, seeded from (name, size) as
+        DESIGN.md specifies — every kernel's inputs are a pure function
+        of its identity."""
+        return _prng(f"{self.name}-{self.size}")
 
     def generate_input(self) -> bytes:
         raise NotImplementedError
@@ -87,7 +98,7 @@ class MatMul(ComputeKernel):
     default_size = 56  # k x k matrices
 
     def generate_input(self) -> bytes:
-        rng = _prng(f"matmul-{self.size}")
+        rng = self.rng()
         cells = 2 * self.size * self.size
         return bytes(rng.randrange(256) for __ in range(cells))
 
@@ -113,7 +124,7 @@ class QSortK(ComputeKernel):
     default_size = 16384  # elements
 
     def generate_input(self) -> bytes:
-        rng = _prng(f"qsortk-{self.size}")
+        rng = self.rng()
         return bytes(rng.randrange(256) for __ in range(self.size))
 
     def transform(self, data: bytes):
@@ -129,7 +140,7 @@ class RLECompress(ComputeKernel):
     default_size = 98304
 
     def generate_input(self) -> bytes:
-        rng = _prng(f"rle-{self.size}")
+        rng = self.rng()
         out = bytearray()
         while len(out) < self.size:
             out.extend(bytes([rng.randrange(32)]) * rng.randrange(1, 24))
@@ -172,7 +183,7 @@ class BFSGraph(ComputeKernel):
     default_size = 12000  # nodes
 
     def generate_input(self) -> bytes:
-        rng = _prng(f"bfs-{self.size}")
+        rng = self.rng()
         n = self.size
         edges = bytearray()
         for node in range(n):
@@ -212,7 +223,7 @@ class Stencil(ComputeKernel):
     iterations = 10
 
     def generate_input(self) -> bytes:
-        rng = _prng(f"stencil-{self.size}")
+        rng = self.rng()
         return bytes(rng.randrange(256) for __ in range(self.size))
 
     def transform(self, data: bytes):
@@ -231,7 +242,7 @@ class Histogram(ComputeKernel):
     default_size = 262144
 
     def generate_input(self) -> bytes:
-        rng = _prng(f"hist-{self.size}")
+        rng = self.rng()
         return bytes(rng.randrange(256) for __ in range(self.size))
 
     def transform(self, data: bytes):
@@ -251,7 +262,7 @@ class StrSearch(ComputeKernel):
     NEEDLES = (b"overshadow", b"cloak", b"shadow", b"vmm")
 
     def generate_input(self) -> bytes:
-        rng = _prng(f"str-{self.size}")
+        rng = self.rng()
         words = [b"lorem", b"ipsum", b"cloak", b"dolor", b"shadow", b"sit",
                  b"vmm", b"amet", b"overshadow"]
         out = bytearray()
@@ -288,7 +299,7 @@ class CRCSweep(ComputeKernel):
         return cls._TABLE
 
     def generate_input(self) -> bytes:
-        rng = _prng(f"crc-{self.size}")
+        rng = self.rng()
         return bytes(rng.randrange(256) for __ in range(self.size))
 
     def transform(self, data: bytes):
@@ -312,7 +323,7 @@ class LZWindow(ComputeKernel):
     MIN_MATCH = 4
 
     def generate_input(self) -> bytes:
-        rng = _prng(f"lz-{self.size}")
+        rng = self.rng()
         phrases = [bytes(rng.randrange(97, 123) for __ in range(8))
                    for __ in range(16)]
         out = bytearray()
@@ -359,7 +370,7 @@ class KMeans(ComputeKernel):
     ITERATIONS = 12
 
     def generate_input(self) -> bytes:
-        rng = _prng(f"kmeans-{self.size}")
+        rng = self.rng()
         return bytes(rng.randrange(256) for __ in range(self.size))
 
     def transform(self, data: bytes):
@@ -392,7 +403,7 @@ class RecordParse(ComputeKernel):
     FIELDS = (b"id", b"qty", b"price", b"tag")
 
     def generate_input(self) -> bytes:
-        rng = _prng(f"rec-{self.size}")
+        rng = self.rng()
         out = bytearray()
         counter = 0
         while len(out) < self.size:

@@ -386,6 +386,7 @@ class VMM(TranslationAuthority):
                 md = self.metadata.lookup(domain.domain_id, vpn)
                 if md is not None and md.resident_gpfn is not None:
                     self._phys.zero_frame(md.resident_gpfn)
+                    self._cycles.charge("vmm", self._costs.zero_fill)
                     self._invalidate_frame_mappings(md.resident_gpfn)
                 if md is not None:
                     self.metadata.remove(domain.domain_id, vpn)

@@ -14,9 +14,9 @@ naming a second-level table page of 1024 entries, each mapping one
 
 Keeping the tables in simulated physical memory (rather than in Python
 dicts) matters for fidelity: the guest kernel edits them with ordinary
-stores, the walker charges per-level cycle costs, and the VMM's shadow
-page tables are genuinely derived state that can go stale — which is
-what multi-shadowing has to manage.
+stores, walk costs are charged per level by the MMU/VMM on the faulting
+path, and the VMM's shadow page tables are genuinely derived state that
+can go stale — which is what multi-shadowing has to manage.
 """
 
 import struct
@@ -177,6 +177,9 @@ class PageTableWalker:
         dir_entry = self.read_entry(root_pfn, l1)
         if not dir_entry.present:
             table_pfn = alloc_table()
+            # repro: allow(CYC001) — the walker is passive hardware with
+            # no ledger; table-install cost is charged per level by the
+            # MMU/VMM on the faulting path that triggered this map.
             self._phys.zero_frame(table_pfn)
             dir_entry = PageTableEntry(pfn=table_pfn, present=True,
                                        writable=True, user=True)

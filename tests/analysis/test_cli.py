@@ -1,0 +1,128 @@
+"""CLI behaviour: exit codes, --json schema, baseline flags."""
+
+import io
+import json
+import subprocess
+import sys
+
+from repro.analysis.cli import JSON_SCHEMA_VERSION, main
+
+DIRTY = """\
+import time
+t = time.time()
+"""
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def make_dirty(tmp_path):
+    pkg = tmp_path / "repro" / "hw"
+    pkg.mkdir(parents=True)
+    (pkg / "clock.py").write_text(DIRTY)
+    return tmp_path
+
+
+def test_clean_tree_exits_zero(tmp_path):
+    (tmp_path / "repro").mkdir()
+    (tmp_path / "repro" / "ok.py").write_text("x = 1\n")
+    code, text = run_cli([str(tmp_path), "--no-baseline"])
+    assert code == 0
+    assert "clean" in text
+
+
+def test_findings_exit_one(tmp_path):
+    root = make_dirty(tmp_path)
+    code, text = run_cli([str(root), "--no-baseline"])
+    assert code == 1
+    assert "DET001" in text
+    assert "FAILED" in text
+
+
+def test_missing_path_exits_two(tmp_path):
+    code, text = run_cli([str(tmp_path / "nowhere")])
+    assert code == 2
+    assert "no such path" in text
+
+
+def test_unknown_rule_exits_two(tmp_path):
+    code, text = run_cli([str(tmp_path), "--rules", "NOPE999"])
+    assert code == 2
+
+
+def test_rules_filter(tmp_path):
+    root = make_dirty(tmp_path)
+    code, text = run_cli([str(root), "--no-baseline", "--rules", "TB001"])
+    assert code == 0  # DET001 not selected, so the clock read passes
+
+
+def test_list_rules(tmp_path):
+    code, text = run_cli(["--list-rules"])
+    assert code == 0
+    for rule_id in ("TB001", "DET001", "CYC001", "ERR001", "SEC001", "API001"):
+        assert rule_id in text
+
+
+def test_json_schema_is_stable(tmp_path):
+    root = make_dirty(tmp_path)
+    code, text = run_cli([str(root), "--no-baseline", "--json"])
+    assert code == 1
+    payload = json.loads(text)
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION
+    assert payload["tool"] == "repro.analysis"
+    assert set(payload) == {
+        "schema_version", "tool", "rules", "files_checked", "findings",
+        "stale_baseline", "parse_errors", "counts", "clean",
+    }
+    finding = payload["findings"][0]
+    assert set(finding) == {
+        "rule", "path", "line", "col", "context", "message", "fingerprint",
+    }
+    assert finding["rule"] == "DET001"
+    assert payload["counts"]["findings"] == 1
+    assert payload["clean"] is False
+
+
+def test_write_baseline_then_clean(tmp_path):
+    root = make_dirty(tmp_path)
+    baseline = tmp_path / "bl.json"
+    code, text = run_cli([str(root), "--baseline", str(baseline),
+                          "--write-baseline", "legacy clock until PR 9"])
+    assert code == 0
+    assert baseline.exists()
+
+    code, text = run_cli([str(root), "--baseline", str(baseline)])
+    assert code == 0
+
+    # Fix the violation: the baseline entry goes stale and fails.
+    (root / "repro" / "hw" / "clock.py").write_text("t = 0\n")
+    code, text = run_cli([str(root), "--baseline", str(baseline)])
+    assert code == 1
+    assert "stale baseline entry" in text
+
+
+def test_write_baseline_requires_reason(tmp_path):
+    root = make_dirty(tmp_path)
+    code, text = run_cli([str(root), "--write-baseline", "  "])
+    assert code == 2
+
+
+def test_module_entry_point_runs():
+    """`python -m repro.analysis --list-rules` is wired up."""
+    import os
+    from pathlib import Path
+
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_dir] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--list-rules"],
+        capture_output=True, text=True, env=env)
+    assert proc.returncode == 0
+    assert "TB001" in proc.stdout

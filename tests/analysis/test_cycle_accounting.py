@@ -1,0 +1,115 @@
+"""CYC001: costed primitives must land on the cycle ledger."""
+
+from repro.analysis.rules.cycle_accounting import CycleAccountingRule
+
+from tests.analysis.conftest import check
+
+RULE = CycleAccountingRule()
+
+
+def test_uncharged_primitive_is_flagged(tree):
+    mod = tree.module("repro/core/freeloader.py", """\
+        class Engine:
+            def __init__(self, phys):
+                self._phys = phys
+
+            def steal(self, gpfn):
+                return self._phys.read_frame(gpfn)
+        """)
+    findings = check(RULE, mod)
+    assert len(findings) == 1
+    assert findings[0].rule == "CYC001"
+    assert findings[0].context == "Engine.steal"
+    assert "read_frame" in findings[0].message
+
+
+def test_direct_charge_satisfies(tree):
+    mod = tree.module("repro/core/payer.py", """\
+        class Engine:
+            def __init__(self, phys, cycles, costs):
+                self._phys = phys
+                self._cycles = cycles
+                self._costs = costs
+
+            def scrub(self, gpfn):
+                self._phys.zero_frame(gpfn)
+                self._cycles.charge("vmm", self._costs.zero_fill)
+        """)
+    assert check(RULE, mod) == []
+
+
+def test_same_class_helper_charge_satisfies(tree):
+    """The rule is call-graph-local: a helper that charges covers its
+    callers inside the same class."""
+    mod = tree.module("repro/core/indirect.py", """\
+        class Engine:
+            def fetch(self, gpfn):
+                data = self._phys.read_frame(gpfn)
+                self._pay()
+                return data
+
+            def _pay(self):
+                self._cycles.charge("vmm", 10)
+        """)
+    assert check(RULE, mod) == []
+
+
+def test_costed_delegate_satisfies(tree):
+    """Calling a self-charging engine entry point discharges the
+    obligation (e.g. the DMA path delegating to the cloak engine)."""
+    mod = tree.module("repro/core/delegate.py", """\
+        class DMA:
+            def read(self, md, gpfn):
+                if md is not None:
+                    self._protect(md, gpfn)
+                return self._phys.read_frame(gpfn)
+
+            def _protect(self, md, gpfn):
+                self.cloak.resolve_system_access(md, gpfn)
+        """)
+    assert check(RULE, mod) == []
+
+
+def test_module_level_function_chain(tree):
+    mod = tree.module("repro/hw/funcs.py", """\
+        def grab(phys, cycles, gpfn):
+            data = phys.read_frame(gpfn)
+            pay(cycles)
+            return data
+
+        def pay(cycles):
+            cycles.charge("mmu", 1)
+        """)
+    assert check(RULE, mod) == []
+
+
+def test_guestos_is_out_of_scope(tree):
+    """Per the issue, the obligation sits on hw/ and core/ only."""
+    mod = tree.module("repro/guestos/cache.py", """\
+        class Cache:
+            def load(self, gpfn):
+                return self._phys.read_frame(gpfn)
+        """)
+    assert check(RULE, mod) == []
+
+
+def test_primitive_definitions_are_not_flagged(tree):
+    """Defining read_frame in terms of non-primitives is fine — the
+    primitives themselves are uncosted by design."""
+    mod = tree.module("repro/hw/phys2.py", """\
+        class Memory:
+            def read_frame(self, pfn):
+                return self.read(pfn, 0, 4096)
+        """)
+    assert check(RULE, mod) == []
+
+
+def test_inline_allow_suppresses(tree):
+    mod = tree.module("repro/core/forensics.py", """\
+        class Probe:
+            def probe(self, cipher, record):
+                # repro: allow(CYC001) — failure-path forensics; the
+                # faulting access already charged page_hash.
+                return cipher.verify_page(0, 0, b"", b"", record)
+        """)
+    assert check(RULE, mod) == []

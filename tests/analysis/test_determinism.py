@@ -1,0 +1,88 @@
+"""DET001: wall clocks and ambient entropy are banned everywhere."""
+
+import pytest
+
+from repro.analysis.rules.determinism import DeterminismRule
+
+from tests.analysis.conftest import check
+
+RULE = DeterminismRule()
+
+
+@pytest.mark.parametrize("snippet,needle", [
+    ("import time\nt = time.time()", "time.time"),
+    ("import time\nt = time.perf_counter()", "time.perf_counter"),
+    ("from time import time\nt = time()", "time.time"),
+    ("from time import monotonic as mono\nt = mono()", "time.monotonic"),
+    ("import datetime\nnow = datetime.datetime.now()", "datetime.datetime.now"),
+    ("from datetime import datetime\nnow = datetime.now()",
+     "datetime.datetime.now"),
+    ("import os\nnoise = os.urandom(16)", "os.urandom"),
+    ("import uuid\nident = uuid.uuid4()", "uuid.uuid4"),
+    ("import secrets\ntoken = secrets.token_bytes(8)", "secrets.token_bytes"),
+])
+def test_banned_sources_are_flagged(tree, snippet, needle):
+    mod = tree.module("repro/hw/clocky.py", snippet + "\n")
+    findings = check(RULE, mod)
+    assert len(findings) == 1, snippet
+    assert needle in findings[0].message
+
+
+def test_module_level_random_functions_are_flagged(tree):
+    mod = tree.module("repro/apps/lucky.py", """\
+        import random
+        a = random.randrange(10)
+        b = random.random()
+        random.seed(42)
+        random.shuffle([1, 2])
+        """)
+    findings = check(RULE, mod)
+    assert len(findings) == 4
+    assert all("module-level PRNG" in f.message for f in findings)
+
+
+def test_unseeded_random_instance_is_flagged(tree):
+    mod = tree.module("repro/apps/unlucky.py", """\
+        import random
+        rng = random.Random()
+        """)
+    findings = check(RULE, mod)
+    assert len(findings) == 1
+    assert "without a seed" in findings[0].message
+
+
+def test_seeded_random_instance_is_clean(tree):
+    mod = tree.module("repro/apps/seeded.py", """\
+        import hashlib
+        import random
+
+        def prng(tag):
+            seed = int.from_bytes(hashlib.sha256(tag.encode()).digest()[:8],
+                                  "little")
+            return random.Random(seed)
+
+        values = [prng("demo").randrange(256) for _ in range(4)]
+        """)
+    assert check(RULE, mod) == []
+
+
+def test_instance_method_calls_are_clean(tree):
+    """Methods on a *seeded instance* must not be confused with the
+    module-level singleton."""
+    mod = tree.module("repro/apps/instance.py", """\
+        import random
+        rng = random.Random(7)
+        data = bytes(rng.randrange(256) for _ in range(16))
+        rng.shuffle(list(data))
+        """)
+    assert check(RULE, mod) == []
+
+
+def test_real_compute_module_is_clean():
+    from pathlib import Path
+
+    from repro.analysis.engine import ModuleInfo
+
+    path = Path("src/repro/apps/compute.py")
+    mod = ModuleInfo(path, str(path), path.read_text(encoding="utf-8"))
+    assert check(RULE, mod) == []

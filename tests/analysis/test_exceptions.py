@@ -1,0 +1,105 @@
+"""ERR001: broad handlers and the security-exception hierarchy."""
+
+from repro.analysis.rules.exceptions import ExceptionDisciplineRule
+
+from tests.analysis.conftest import check
+
+RULE = ExceptionDisciplineRule()
+
+
+def test_bare_except_is_flagged(tree):
+    mod = tree.module("repro/guestos/sloppy.py", """\
+        def run(step):
+            try:
+                step()
+            except:
+                return None
+        """)
+    findings = check(RULE, mod)
+    assert len(findings) == 1
+    assert "bare 'except:'" in findings[0].message
+
+
+def test_broad_except_exception_is_flagged(tree):
+    mod = tree.module("repro/core/swallow.py", """\
+        def guard(step):
+            try:
+                step()
+            except Exception as exc:
+                return str(exc)
+        """)
+    findings = check(RULE, mod)
+    assert len(findings) == 1
+    assert "except Exception" in findings[0].message
+
+
+def test_broad_except_in_tuple_is_flagged(tree):
+    mod = tree.module("repro/core/tupled.py", """\
+        def guard(step):
+            try:
+                step()
+            except (ValueError, BaseException):
+                return None
+        """)
+    assert len(check(RULE, mod)) == 1
+
+
+def test_reraising_broad_handler_is_clean(tree):
+    """A handler that re-raises cannot swallow a violation."""
+    mod = tree.module("repro/core/cleanup.py", """\
+        def guard(step, undo):
+            try:
+                step()
+            except Exception:
+                undo()
+                raise
+        """)
+    assert check(RULE, mod) == []
+
+
+def test_specific_handlers_are_clean(tree):
+    mod = tree.module("repro/guestos/fine.py", """\
+        from repro.hw.phys import OutOfMemoryError
+
+        def alloc(allocator):
+            try:
+                return allocator.alloc()
+            except OutOfMemoryError:
+                return None
+            except (ValueError, KeyError):
+                return None
+        """)
+    assert check(RULE, mod) == []
+
+
+def test_rogue_violation_class_is_flagged(tree):
+    mod = tree.module("repro/attacks/rogue.py", """\
+        class SneakyViolation(RuntimeError):
+            pass
+        """)
+    findings = check(RULE, mod)
+    assert len(findings) == 1
+    assert "core.errors hierarchy" in findings[0].message
+
+
+def test_violation_derived_from_core_errors_is_clean(tree):
+    mod = tree.module("repro/core/extra.py", """\
+        from repro.core.errors import IntegrityViolation
+
+        class ChannelViolation(IntegrityViolation):
+            pass
+
+        class NestedViolation(ChannelViolation):
+            pass
+        """)
+    assert check(RULE, mod) == []
+
+
+def test_errors_module_itself_is_exempt():
+    from pathlib import Path
+
+    from repro.analysis.engine import ModuleInfo
+
+    path = Path("src/repro/core/errors.py")
+    mod = ModuleInfo(path, str(path), path.read_text(encoding="utf-8"))
+    assert check(RULE, mod) == []

@@ -1,0 +1,65 @@
+"""SEC001: secret identifiers must not reach TCB output paths."""
+
+from repro.analysis.rules.secrets import SecretHygieneRule
+
+from tests.analysis.conftest import check
+
+RULE = SecretHygieneRule()
+
+
+def test_print_of_key_is_flagged(tree):
+    mod = tree.module("repro/core/leaky.py", """\
+        def debug(enc_key):
+            print(enc_key)
+        """)
+    findings = check(RULE, mod)
+    assert len(findings) == 1
+    assert "enc_key" in findings[0].message
+
+
+def test_fstring_of_keystream_is_flagged(tree):
+    mod = tree.module("repro/core/fleaky.py", """\
+        def describe(self):
+            return f"cipher state: {self._keystream}"
+        """)
+    findings = check(RULE, mod)
+    assert len(findings) == 1
+    assert "keystream" in findings[0].message
+
+
+def test_logging_of_plaintext_is_flagged(tree):
+    mod = tree.module("repro/core/logleak.py", """\
+        def audit(log, plaintext):
+            log.warning(plaintext)
+        """)
+    assert len(check(RULE, mod)) == 1
+
+
+def test_percent_format_of_master_is_flagged(tree):
+    mod = tree.module("repro/core/pctleak.py", """\
+        def banner(master):
+            return "boot secret=%r" % (master,)
+        """)
+    assert len(check(RULE, mod)) == 1
+
+
+def test_word_boundaries_do_not_overmatch(tree):
+    """'keyboard' and 'lineage_id' are not secrets; and secret names
+    outside output sinks are ordinary code."""
+    mod = tree.module("repro/core/finecrypto.py", """\
+        def derive(master, keyboard, lineage_id):
+            enc_key = master + b"x"
+            print(f"domain {lineage_id} via {keyboard!r}")
+            return enc_key
+        """)
+    assert check(RULE, mod) == []
+
+
+def test_outside_core_is_out_of_scope(tree):
+    """Apps may print what they like — their pages are cloaked; the
+    rule guards the TCB's own output paths."""
+    mod = tree.module("repro/apps/printer.py", """\
+        def show(secret_key):
+            print(secret_key)
+        """)
+    assert check(RULE, mod) == []

@@ -1,0 +1,91 @@
+"""Inline ``# repro: allow(...)`` mechanics."""
+
+from repro.analysis.engine import ModuleInfo, _parse_suppressions
+from repro.analysis.rules import get_rules
+
+
+def run_all(tree):
+    return tree.run(get_rules())
+
+
+def test_same_line_allow_with_reason_suppresses(tree):
+    tree.write("repro/hw/clock.py", """\
+        import time
+        t = time.time()  # repro: allow(DET001) — demo exception
+        """)
+    report = run_all(tree)
+    assert report.findings == []
+    assert len(report.suppressed) == 1
+    assert report.suppressed[0].rule == "DET001"
+
+
+def test_comment_line_above_suppresses_next_code_line(tree):
+    tree.write("repro/hw/clock2.py", """\
+        import time
+        # repro: allow(DET001) — justified here, and the comment wraps
+        # across more than one line before the statement.
+
+        t = time.time()
+        """)
+    report = run_all(tree)
+    assert report.findings == []
+    assert len(report.suppressed) == 1
+
+
+def test_allow_without_reason_is_inert(tree):
+    tree.write("repro/hw/clock3.py", """\
+        import time
+        t = time.time()  # repro: allow(DET001)
+        """)
+    report = run_all(tree)
+    assert len(report.findings) == 1
+
+
+def test_allow_only_covers_named_rule(tree):
+    tree.write("repro/hw/clock4.py", """\
+        import time
+        from repro.guestos.kernel import Kernel  # repro: allow(DET001) — wrong id
+        t = time.time()
+        """)
+    report = run_all(tree)
+    rules = {f.rule for f in report.findings}
+    assert rules == {"API001", "DET001"}
+
+
+def test_allow_accepts_multiple_rule_ids(tree):
+    tree.write("repro/hw/combo.py", """\
+        import time
+        from repro.guestos.kernel import K  # repro: allow(DET001, API001) — combo demo
+        t = time.time()  # repro: allow(DET001) — second site
+        """)
+    report = run_all(tree)
+    assert report.findings == []
+    assert len(report.suppressed) == 2
+
+
+def test_parse_suppressions_table():
+    lines = [
+        "x = 1  # repro: allow(TB001) — reason",
+        "# repro: allow(CYC001) : colon separator works",
+        "y = 2",
+    ]
+    table = _parse_suppressions(lines)
+    assert table[1] == {"TB001"}
+    assert "CYC001" in table[2]  # the comment line itself
+    assert "CYC001" in table[3]  # ...and the code line below
+
+
+def test_real_tree_suppressions_are_justified():
+    """Every inline allow in src/repro carries a reason (inert allows
+    would silently stop suppressing)."""
+    import re
+    from pathlib import Path
+
+    bare = re.compile(r"#\s*repro:\s*allow\([^)]*\)\s*$")
+    offenders = []
+    for path in Path("src/repro").rglob("*.py"):
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            if bare.search(line):
+                offenders.append(f"{path}:{lineno}")
+    assert offenders == []

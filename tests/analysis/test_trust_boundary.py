@@ -1,0 +1,80 @@
+"""TB001: the trust boundary as seen by the import graph."""
+
+from repro.analysis.rules.trust_boundary import TrustBoundaryRule
+
+from tests.analysis.conftest import check
+
+RULE = TrustBoundaryRule()
+
+
+def test_guestos_importing_crypto_is_flagged(tree):
+    mod = tree.module("repro/guestos/evil.py", """\
+        from repro.core.crypto import PageCipher
+        """)
+    findings = check(RULE, mod)
+    assert len(findings) == 1
+    assert findings[0].rule == "TB001"
+    assert "repro.core.crypto" in findings[0].message
+
+
+def test_each_protected_internal_is_flagged(tree):
+    for target in ("crypto", "metadata", "cloak", "domains"):
+        mod = tree.module(f"repro/apps/evil_{target}.py", f"""\
+            import repro.core.{target}
+            """)
+        findings = check(RULE, mod)
+        assert len(findings) == 1, target
+        assert "key/metadata/cloaking internals" in findings[0].message
+
+
+def test_plain_core_import_in_guestos_is_flagged(tree):
+    mod = tree.module("repro/guestos/sneaky.py", """\
+        from repro.core import vmm
+        """)
+    assert len(check(RULE, mod)) == 1
+
+
+def test_attacks_may_import_core_errors(tree):
+    mod = tree.module("repro/attacks/probe.py", """\
+        from repro.core.errors import FreshnessViolation, IntegrityViolation
+        """)
+    assert check(RULE, mod) == []
+
+
+def test_guestos_may_not_import_core_errors(tree):
+    """The kernel sees violations as faults, never as imports."""
+    mod = tree.module("repro/guestos/handler.py", """\
+        from repro.core.errors import IntegrityViolation
+        """)
+    assert len(check(RULE, mod)) == 1
+
+
+def test_trusted_packages_are_out_of_scope(tree):
+    mod = tree.module("repro/bench/harness.py", """\
+        from repro.core.crypto import PageCipher
+        from repro.core.cloak import CloakEngine
+        """)
+    assert check(RULE, mod) == []
+
+
+def test_hw_and_stdlib_imports_are_clean(tree):
+    mod = tree.module("repro/guestos/kernel2.py", """\
+        import hashlib
+        from repro.hw.phys import PhysicalMemory
+        from repro.guestos.uapi import Syscall
+        """)
+    assert check(RULE, mod) == []
+
+
+def test_relative_import_of_sibling_is_clean(tree):
+    mod = tree.module("repro/guestos/sys_x.py", """\
+        from . import layout
+        """)
+    assert check(RULE, mod) == []
+
+
+def test_one_finding_per_statement(tree):
+    mod = tree.module("repro/apps/multi.py", """\
+        from repro.core.crypto import PageCipher, derive_key, keystream
+        """)
+    assert len(check(RULE, mod)) == 1
