@@ -1,9 +1,13 @@
 """Command-line interface: ``python -m repro.analysis [paths...]``.
 
 Exit codes: 0 clean, 1 findings / stale baseline entries / parse
-errors, 2 usage errors.  ``--json`` emits a stable machine-readable
-report (schema version in the payload); ``--write-baseline``
-grandfathers the current findings with a shared reason.
+errors, 2 usage errors.  ``--format json`` (alias ``--json``) emits a
+stable machine-readable report (schema version in the payload);
+``--format sarif`` emits SARIF 2.1.0 for code-scanning consumers;
+``--write-baseline`` grandfathers the current findings with a shared
+reason; ``--changed-only`` checks only files git reports changed
+against ``--since`` (default ``HEAD``) while still loading the whole
+tree for interprocedural summaries.
 """
 
 import argparse
@@ -15,7 +19,9 @@ from typing import List, Optional
 from repro.analysis.baseline import Baseline, BaselineError
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.engine import Analyzer, Report
+from repro.analysis.incremental import IncrementalError, changed_files
 from repro.analysis.rules import ALL_RULES, get_rules
+from repro.analysis.sarif import as_sarif
 
 #: Bump when the --json payload shape changes.
 JSON_SCHEMA_VERSION = 1
@@ -31,8 +37,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("paths", nargs="*",
                         help="files/directories to analyse (default: "
                              "[tool.repro-analysis] paths in pyproject.toml)")
-    parser.add_argument("--json", action="store_true", dest="as_json",
-                        help="emit a machine-readable JSON report")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        dest="format", default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--json", action="store_const", const="json",
+                        dest="format",
+                        help="shorthand for --format json")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="rule-check only files changed per git "
+                             "(the whole tree is still loaded for "
+                             "interprocedural summaries)")
+    parser.add_argument("--since", metavar="REF", default="HEAD",
+                        help="base ref for --changed-only "
+                             "(default: HEAD)")
     parser.add_argument("--baseline", metavar="FILE",
                         help="baseline file of grandfathered findings")
     parser.add_argument("--no-baseline", action="store_true",
@@ -155,10 +172,21 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             print(f"error: {exc}", file=out)
             return 2
 
-    report = analyzer.run(paths, baseline=baseline, root=config.root)
-    if args.as_json:
+    check_only = None
+    if args.changed_only:
+        try:
+            check_only = set(changed_files(config.root, args.since))
+        except IncrementalError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+
+    report = analyzer.run(paths, baseline=baseline, root=config.root,
+                          check_only=check_only)
+    if args.format == "json":
         payload = _as_json(report, [r.rule_id for r in rules])
         print(json.dumps(payload, indent=2), file=out)
+    elif args.format == "sarif":
+        print(json.dumps(as_sarif(report, rules), indent=2), file=out)
     else:
         _print_human(report, out)
     return 0 if report.clean else 1

@@ -200,9 +200,23 @@ class Analyzer:
         return files
 
     def run(self, paths: Sequence[Path], baseline: Optional["Baseline"] = None,  # noqa: F821
-            root: Optional[Path] = None) -> Report:
+            root: Optional[Path] = None,
+            check_only: Optional[Set[Path]] = None) -> Report:
+        """Run every rule over every discovered file.
+
+        The run is two-phase: all files parse first, then rules check
+        them, so interprocedural rules (which implement
+        ``begin_project``) see the *whole* tree before the first
+        per-module verdict.  ``check_only`` restricts which files are
+        rule-checked (``--changed-only``); every discovered file is
+        still parsed and fed to ``begin_project``, because call-graph
+        summaries must cover unchanged callees too.  Stale-baseline
+        detection is skipped under ``check_only`` — fingerprints from
+        unchecked files would otherwise look stale.
+        """
         report = Report()
         seen_fingerprints: Set[str] = set()
+        modules: List[ModuleInfo] = []
         for file_path in self.discover([Path(p) for p in paths]):
             display = _display_path(file_path, root)
             try:
@@ -210,6 +224,21 @@ class Analyzer:
                 mod = ModuleInfo(file_path, display, source)
             except (SyntaxError, UnicodeDecodeError, OSError) as exc:
                 report.parse_errors.append(f"{display}: {exc}")
+                continue
+            modules.append(mod)
+
+        project_rules = [r for r in self.rules if hasattr(r, "begin_project")]
+        if project_rules:
+            from repro.analysis.flow import ProjectContext
+            project = ProjectContext(modules)
+            for rule in project_rules:
+                rule.begin_project(project)
+
+        targets = None
+        if check_only is not None:
+            targets = {p.resolve() for p in check_only}
+        for mod in modules:
+            if targets is not None and mod.path.resolve() not in targets:
                 continue
             report.files_checked += 1
             for rule in self.rules:
@@ -221,7 +250,7 @@ class Analyzer:
                         report.baselined.append(finding)
                     else:
                         report.findings.append(finding)
-        if baseline is not None:
+        if baseline is not None and check_only is None:
             report.stale_baseline = baseline.stale_entries(seen_fingerprints)
         report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
         return report

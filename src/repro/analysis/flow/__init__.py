@@ -1,0 +1,45 @@
+"""Interprocedural dataflow infrastructure shared by rules.
+
+:class:`ProjectContext` is the engine's hand-off to interprocedural
+rules: it owns the parsed modules of one analysis run and lazily
+builds the shared :class:`~repro.analysis.flow.callgraph.CallGraph`
+and :class:`~repro.analysis.flow.taint.TaintAnalysis` exactly once,
+however many rules consume them.  Rules that implement
+``begin_project(project)`` receive it before any per-module ``check``
+call; when a rule is exercised on a lone module outside an engine run
+(unit tests), it builds a single-module context on the fly and the
+same code paths apply, just without cross-module edges.
+"""
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.engine import ModuleInfo
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.taint import TaintAnalysis
+
+__all__ = ["CallGraph", "TaintAnalysis", "ProjectContext"]
+
+
+class ProjectContext:
+    """All modules of one run plus lazily-built shared analyses."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]):
+        self.modules: List[ModuleInfo] = list(modules)
+        self._ids = {id(m) for m in self.modules}
+        self._callgraph: Optional[CallGraph] = None
+        self._taint: Optional[TaintAnalysis] = None
+
+    def __contains__(self, mod: ModuleInfo) -> bool:
+        return id(mod) in self._ids
+
+    @property
+    def callgraph(self) -> CallGraph:
+        if self._callgraph is None:
+            self._callgraph = CallGraph.build(self.modules)
+        return self._callgraph
+
+    @property
+    def taint(self) -> TaintAnalysis:
+        if self._taint is None:
+            self._taint = TaintAnalysis(self.callgraph)
+        return self._taint

@@ -1,0 +1,468 @@
+"""Project-wide call graph with lightweight type resolution.
+
+Every interprocedural rule needs the same three questions answered:
+*which functions exist*, *who calls whom*, and *what object a call
+receiver is*.  This module answers them once, for the whole analysed
+tree, so cycle accounting (CYC001) and the taint pass (SEC002/SEC003)
+reason over one shared graph instead of each re-deriving a private,
+weaker one.
+
+Resolution is deliberately "type-lite" — no inference engine, just the
+facts the tree states outright:
+
+* bare calls resolve to nested defs of the enclosing function, then
+  module-level functions, then ``from m import f`` imports;
+* ``self.m()`` / ``cls.m()`` resolve to methods of the enclosing class
+  (walking declared bases);
+* attribute calls through *known engine objects* resolve via a local
+  type environment seeded from parameter annotations, constructor
+  assignments (``x = CloakEngine(...)``), instance-attribute types
+  (``self.cloak = CloakEngine(...)`` in ``__init__``), and callee
+  return annotations (``self.domains.get(view)`` yields a
+  ``ProtectionDomain``);
+* module-qualified calls (``crypto.make_iv(...)``) resolve through the
+  module's import aliases.
+
+Anything else stays an *unresolved* call site that still records its
+terminal name, so name-keyed rules (charge detection, sink names) keep
+working on code the resolver cannot see through.
+"""
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import ModuleInfo
+from repro.analysis.rules.base import import_aliases, dotted_name
+
+#: (dotted module name, qualname within the module).
+FuncKey = Tuple[str, str]
+ClassKey = Tuple[str, str]
+
+#: Qualname used for a module's top-level statement pseudo-function.
+MODULE_SCOPE = "<module>"
+
+
+class CallSite:
+    """One call expression inside a function body."""
+
+    __slots__ = ("node", "name", "callee", "is_attr", "is_constructor")
+
+    def __init__(self, node: ast.Call, name: str, callee: Optional[FuncKey],
+                 is_attr: bool, is_constructor: bool = False):
+        self.node = node
+        self.name = name            # terminal callable name, e.g. "decrypt_page"
+        self.callee = callee        # resolved FuncKey, or None
+        self.is_attr = is_attr      # spelled obj.name(...) rather than name(...)
+        self.is_constructor = is_constructor
+
+    def __repr__(self) -> str:
+        return f"CallSite({self.name!r} -> {self.callee})"
+
+
+class FunctionNode:
+    """One function (or the module-level pseudo-function) in the graph."""
+
+    def __init__(self, module: ModuleInfo, node: ast.AST, qualname: str,
+                 cls: Optional[ClassKey], parent: Optional[FuncKey]):
+        self.module = module
+        self.node = node
+        self.qualname = qualname
+        self.key: FuncKey = (module.module, qualname)
+        self.cls = cls              # enclosing class, if a method
+        self.parent = parent        # enclosing function, if nested
+        self.params: List[str] = []
+        self.param_types: Dict[str, ClassKey] = {}
+        self.return_type: Optional[ClassKey] = None
+        self.is_staticmethod = False
+        self.is_classmethod = False
+        self.children: Dict[str, FuncKey] = {}   # nested defs by name
+        self.calls: List[CallSite] = []
+        self.call_names: Set[str] = set()
+        self._call_by_node: Dict[int, CallSite] = {}
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+    def site_for(self, node: ast.Call) -> Optional[CallSite]:
+        return self._call_by_node.get(id(node))
+
+    def arg_to_param(self, index: int) -> int:
+        """Positional-argument index -> parameter index at this callee.
+
+        Bound calls (methods reached through an instance, constructors)
+        consume the implicit first parameter; staticmethods do not.
+        """
+        if self.cls is not None and not self.is_staticmethod:
+            return index + 1
+        return index
+
+    def __repr__(self) -> str:
+        return f"FunctionNode({self.key})"
+
+
+class ClassNode:
+    """One class definition: bases, methods, known attribute types."""
+
+    def __init__(self, module: ModuleInfo, node: ast.ClassDef, qualname: str):
+        self.module = module
+        self.node = node
+        self.key: ClassKey = (module.module, qualname)
+        self.base_refs: List[ast.expr] = list(node.bases)
+        self.bases: List[ClassKey] = []
+        self.methods: Dict[str, FuncKey] = {}
+        self.attr_types: Dict[str, ClassKey] = {}
+
+
+class CallGraph:
+    """The shared graph: functions, classes, and resolved call edges."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]):
+        self.modules = list(modules)
+        self.functions: Dict[FuncKey, FunctionNode] = {}
+        self.classes: Dict[ClassKey, ClassNode] = {}
+        self._module_funcs: Dict[str, Dict[str, FuncKey]] = {}
+        self._aliases: Dict[str, Dict[str, str]] = {}
+        self._module_names: Set[str] = {m.module for m in modules}
+        self._by_module: Dict[str, List[FuncKey]] = {}
+        self._index()
+        self._link_classes()
+        self._resolve_calls()
+
+    @classmethod
+    def build(cls, modules: Sequence[ModuleInfo]) -> "CallGraph":
+        return cls(modules)
+
+    # -- queries ---------------------------------------------------------------
+
+    def functions_in(self, mod: ModuleInfo,
+                     include_module_scope: bool = False) -> Iterable[FunctionNode]:
+        for key in self._by_module.get(mod.module, ()):
+            fn = self.functions[key]
+            if fn.module is not mod:
+                continue  # same dotted name from another fixture tree
+            if fn.qualname == MODULE_SCOPE and not include_module_scope:
+                continue
+            yield fn
+
+    def find_method(self, cls_key: ClassKey, name: str) -> Optional[FuncKey]:
+        """Method lookup walking declared (resolved) base classes."""
+        seen: Set[ClassKey] = set()
+        queue = [cls_key]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            if name in info.methods:
+                return info.methods[name]
+            queue.extend(info.bases)
+        return None
+
+    def attr_type(self, cls_key: ClassKey, attr: str) -> Optional[ClassKey]:
+        seen: Set[ClassKey] = set()
+        queue = [cls_key]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            if attr in info.attr_types:
+                return info.attr_types[attr]
+            queue.extend(info.bases)
+        return None
+
+    # -- pass A: index every class and function --------------------------------
+
+    def _index(self) -> None:
+        for mod in self.modules:
+            self._aliases[mod.module] = import_aliases(mod.tree)
+            self._module_funcs.setdefault(mod.module, {})
+            pseudo = FunctionNode(mod, mod.tree, MODULE_SCOPE, None, None)
+            self._register(pseudo)
+            self._index_scope(mod, mod.tree, (), None, pseudo.key)
+
+    def _register(self, fn: FunctionNode) -> None:
+        self.functions[fn.key] = fn
+        self._by_module.setdefault(fn.key[0], []).append(fn.key)
+
+    def _index_scope(self, mod: ModuleInfo, node: ast.AST,
+                     stack: Tuple[str, ...], cls: Optional[ClassKey],
+                     parent: Optional[FuncKey]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                qual = ".".join(stack + (child.name,))
+                info = ClassNode(mod, child, qual)
+                self.classes.setdefault(info.key, info)
+                self._index_scope(mod, child, stack + (child.name,),
+                                  info.key, None)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = ".".join(stack + (child.name,))
+                fn = FunctionNode(mod, child, qual, cls, parent)
+                fn.params = [a.arg for a in
+                             child.args.posonlyargs + child.args.args
+                             + child.args.kwonlyargs]
+                for deco in child.decorator_list:
+                    deco_name = dotted_name(deco)
+                    if deco_name == "staticmethod":
+                        fn.is_staticmethod = True
+                    elif deco_name == "classmethod":
+                        fn.is_classmethod = True
+                self._register(fn)
+                if cls is not None and parent is None:
+                    self.classes[cls].methods.setdefault(child.name, fn.key)
+                if not stack:
+                    self._module_funcs[mod.module].setdefault(child.name, fn.key)
+                if parent is not None and parent in self.functions:
+                    self.functions[parent].children[child.name] = fn.key
+                # Functions nested in a method stay associated with the
+                # class for self-resolution, but are not methods.
+                self._index_scope(mod, child, stack + (child.name,), cls,
+                                  fn.key)
+
+    # -- pass B: class bases, annotations, attribute types ---------------------
+
+    def _link_classes(self) -> None:
+        for info in self.classes.values():
+            for base in info.base_refs:
+                resolved = self._resolve_class_expr(base, info.module)
+                if resolved is not None:
+                    info.bases.append(resolved)
+        for fn in self.functions.values():
+            node = fn.node
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for arg in node.args.posonlyargs + node.args.args + node.args.kwonlyargs:
+                if arg.annotation is not None:
+                    t = self._resolve_annotation(arg.annotation, fn.module)
+                    if t is not None:
+                        fn.param_types[arg.arg] = t
+            if node.returns is not None:
+                fn.return_type = self._resolve_annotation(node.returns,
+                                                          fn.module)
+        # Attribute types need method annotations, hence a third sweep.
+        for info in self.classes.values():
+            for method_key in info.methods.values():
+                self._harvest_attr_types(info, self.functions[method_key])
+
+    def _harvest_attr_types(self, info: ClassNode, fn: FunctionNode) -> None:
+        env = dict(fn.param_types)
+        for stmt in ast.walk(fn.node):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            value = stmt.value
+            if value is None:
+                continue
+            t = self._type_of_shallow(value, env, fn)
+            if t is None and isinstance(stmt, ast.AnnAssign):
+                t = self._resolve_annotation(stmt.annotation, fn.module)
+            if t is None:
+                continue
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in ("self", "cls")):
+                    info.attr_types.setdefault(target.attr, t)
+
+    def _type_of_shallow(self, expr: ast.expr, env: Dict[str, ClassKey],
+                         fn: FunctionNode) -> Optional[ClassKey]:
+        """Type of an expression from names, constructors and annotations
+        only — no call-graph recursion (used while the graph is still
+        being built)."""
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.Call):
+            return self._resolve_class_expr(expr.func, fn.module)
+        return None
+
+    # -- pass C: resolve every call site ----------------------------------------
+
+    def _resolve_calls(self) -> None:
+        for fn in self.functions.values():
+            self._resolve_function(fn)
+
+    def _resolve_function(self, fn: FunctionNode) -> None:
+        env: Dict[str, ClassKey] = dict(fn.param_types)
+        if fn.cls is not None and fn.params and not fn.is_staticmethod:
+            env.setdefault(fn.params[0], fn.cls)
+
+        def walk(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                    continue  # nested scopes resolve on their own
+                if isinstance(child, ast.Assign):
+                    t = self._type_of(child.value, env, fn)
+                    if t is not None:
+                        for target in child.targets:
+                            if isinstance(target, ast.Name):
+                                env[target.id] = t
+                elif isinstance(child, ast.AnnAssign) and isinstance(
+                        child.target, ast.Name):
+                    t = None
+                    if child.value is not None:
+                        t = self._type_of(child.value, env, fn)
+                    if t is None:
+                        t = self._resolve_annotation(child.annotation,
+                                                     fn.module)
+                    if t is not None:
+                        env[child.target.id] = t
+                if isinstance(child, ast.Call):
+                    self._note_call(child, env, fn)
+                walk(child)
+
+        walk(fn.node)
+
+    def _note_call(self, call: ast.Call, env: Dict[str, ClassKey],
+                   fn: FunctionNode) -> None:
+        func = call.func
+        callee: Optional[FuncKey] = None
+        is_constructor = False
+        if isinstance(func, ast.Name):
+            name = func.id
+            callee = self._resolve_bare(name, fn)
+            if callee is None:
+                cls_key = self._resolve_class_expr(func, fn.module)
+                if cls_key is not None:
+                    callee = self.find_method(cls_key, "__init__")
+                    is_constructor = callee is not None
+            site = CallSite(call, name, callee, is_attr=False,
+                            is_constructor=is_constructor)
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+            receiver_type = self._type_of(func.value, env, fn)
+            if receiver_type is not None:
+                callee = self.find_method(receiver_type, name)
+            if callee is None:
+                dotted = dotted_name(func)
+                if dotted is not None:
+                    callee = self._resolve_dotted_function(dotted, fn.module)
+                    if callee is None:
+                        cls_key = self._resolve_class_dotted(dotted,
+                                                             fn.module)
+                        if cls_key is not None:
+                            callee = self.find_method(cls_key, "__init__")
+                            is_constructor = callee is not None
+            site = CallSite(call, name, callee, is_attr=True,
+                            is_constructor=is_constructor)
+        else:
+            return  # calls of calls / subscripts: nothing nameable
+        fn.calls.append(site)
+        fn.call_names.add(site.name)
+        fn._call_by_node[id(call)] = site
+
+    def _resolve_bare(self, name: str, fn: FunctionNode) -> Optional[FuncKey]:
+        scope = fn
+        while scope is not None:
+            if name in scope.children:
+                return scope.children[name]
+            scope = (self.functions.get(scope.parent)
+                     if scope.parent is not None else None)
+        if fn.cls is not None:
+            # A bare name inside a class body's method never means a
+            # sibling method (Python requires self.), so skip to module.
+            pass
+        module_funcs = self._module_funcs.get(fn.key[0], {})
+        if name in module_funcs:
+            return module_funcs[name]
+        origin = self._aliases.get(fn.key[0], {}).get(name)
+        if origin is not None:
+            return self._resolve_dotted_function(origin, fn.module)
+        return None
+
+    def _resolve_dotted_function(self, dotted: str,
+                                 mod: ModuleInfo) -> Optional[FuncKey]:
+        full = self._substitute_alias(dotted, mod)
+        if "." not in full:
+            return self._module_funcs.get(mod.module, {}).get(full)
+        module_part, _, func_part = full.rpartition(".")
+        if module_part in self._module_names:
+            return self._module_funcs.get(module_part, {}).get(func_part)
+        # Method reference: repro.core.crypto.PageCipher.decrypt_page
+        head, _, tail = module_part.rpartition(".")
+        if head in self._module_names and (head, tail) in self.classes:
+            return self.find_method((head, tail), func_part)
+        return None
+
+    # -- type machinery ----------------------------------------------------------
+
+    def _type_of(self, expr: ast.expr, env: Dict[str, ClassKey],
+                 fn: FunctionNode) -> Optional[ClassKey]:
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self._type_of(expr.value, env, fn)
+            if base is not None:
+                return self.attr_type(base, expr.attr)
+            return None
+        if isinstance(expr, ast.Call):
+            cls_key = self._resolve_class_expr(expr.func, fn.module)
+            if cls_key is not None:
+                return cls_key
+            # A resolved callee's return annotation types the result:
+            # self.domains.get(view) -> ProtectionDomain.
+            site = fn.site_for(expr)
+            if site is not None and site.callee is not None:
+                return self.functions[site.callee].return_type
+            if isinstance(expr.func, ast.Attribute):
+                receiver = self._type_of(expr.func.value, env, fn)
+                if receiver is not None:
+                    method = self.find_method(receiver, expr.func.attr)
+                    if method is not None:
+                        return self.functions[method].return_type
+            elif isinstance(expr.func, ast.Name):
+                callee = self._resolve_bare(expr.func.id, fn)
+                if callee is not None:
+                    return self.functions[callee].return_type
+            return None
+        return None
+
+    def _substitute_alias(self, dotted: str, mod: ModuleInfo) -> str:
+        head, _, rest = dotted.partition(".")
+        origin = self._aliases.get(mod.module, {}).get(head)
+        if origin is None:
+            return dotted
+        return f"{origin}.{rest}" if rest else origin
+
+    def _resolve_class_dotted(self, dotted: str,
+                              mod: ModuleInfo) -> Optional[ClassKey]:
+        full = self._substitute_alias(dotted, mod)
+        if "." not in full:
+            key = (mod.module, full)
+            return key if key in self.classes else None
+        module_part, _, cls_part = full.rpartition(".")
+        key = (module_part, cls_part)
+        if module_part in self._module_names and key in self.classes:
+            return key
+        # Same-module nested class spelled with a dotted qualname.
+        key = (mod.module, full)
+        return key if key in self.classes else None
+
+    def _resolve_class_expr(self, expr: ast.expr,
+                            mod: ModuleInfo) -> Optional[ClassKey]:
+        dotted = dotted_name(expr)
+        if dotted is None:
+            return None
+        return self._resolve_class_dotted(dotted, mod)
+
+    def _resolve_annotation(self, ann: ast.expr,
+                            mod: ModuleInfo) -> Optional[ClassKey]:
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(ann, ast.Subscript):
+            # Unwrap Optional[X]; other generics stay unresolved.
+            base = dotted_name(ann.value)
+            if base is not None and base.rsplit(".", 1)[-1] == "Optional":
+                return self._resolve_annotation(ann.slice, mod)
+            return None
+        return self._resolve_class_expr(ann, mod)

@@ -13,6 +13,7 @@ from repro.analysis.rules.cycle_accounting import CycleAccountingRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.exceptions import ExceptionDisciplineRule
 from repro.analysis.rules.layering import LayeringRule
+from repro.analysis.rules.secret_flow import SecretFlowRule, UnsealedPersistRule
 from repro.analysis.rules.secrets import SecretHygieneRule
 from repro.analysis.rules.trust_boundary import TrustBoundaryRule
 
@@ -22,6 +23,8 @@ ALL_RULES = (
     CycleAccountingRule(),
     ExceptionDisciplineRule(),
     SecretHygieneRule(),
+    SecretFlowRule(),
+    UnsealedPersistRule(),
     LayeringRule(),
 )
 
@@ -34,5 +37,7 @@ def get_rules(only: Sequence[str] = ()) -> List[object]:
     known = {rule.rule_id for rule in ALL_RULES}
     unknown = wanted - known
     if unknown:
-        raise KeyError(f"unknown rule ids: {sorted(unknown)}")
+        raise KeyError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(known))})")
     return [rule for rule in ALL_RULES if rule.rule_id in wanted]

@@ -4,12 +4,13 @@ The reproduction's performance claims are virtual-cycle counts, so a
 code path that moves page-sized data or runs page crypto *without*
 charging the :class:`~repro.hw.cycles.CycleAccount` silently makes that
 work free and skews every benchmark built on top.  This rule walks the
-local call graph of every function in ``repro.hw`` and ``repro.core``:
-if a function (or a same-class/same-module helper it calls,
-transitively) invokes one of the uncosted primitives, then that call
-graph must also contain a charge — either a direct ``.charge(...)`` /
-``._charge(...)`` or a call into one of the known self-charging
-engine entry points.
+**shared call graph** (:mod:`repro.analysis.flow.callgraph` — the same
+graph the taint rules use) for every function in ``repro.hw`` and
+``repro.core``: if a function (or any helper its resolved call edges
+reach, transitively) invokes one of the uncosted primitives, then that
+call graph must also contain a charge — either a direct
+``.charge(...)`` / ``._charge(...)`` or a call into one of the known
+self-charging engine entry points.
 
 The primitives are *uncosted by design* (``PhysicalMemory`` and
 ``PageCipher`` model hardware/crypto mechanisms and know nothing about
@@ -17,10 +18,10 @@ time); the obligation to account for them sits with their callers,
 which is exactly what this rule pins down.
 """
 
-import ast
-from typing import Dict, Optional, Set, Tuple
+from typing import Iterator, Set
 
 from repro.analysis.engine import ModuleInfo
+from repro.analysis.flow.callgraph import CallGraph, FuncKey, FunctionNode
 from repro.analysis.rules.base import Rule
 
 #: Attribute calls that move page data or run page crypto without
@@ -47,44 +48,23 @@ COSTED_DELEGATES = {
 CHECKED_PREFIXES = ("repro.hw", "repro.core")
 
 
-class _FunctionFacts:
-    """Call names appearing in one function body (nested defs excluded)."""
-
-    def __init__(self) -> None:
-        self.primitive_nodes: list = []  # (node, primitive_name)
-        self.charges = False
-        self.self_calls: Set[str] = set()   # self.X(...) / cls.X(...)
-        self.local_calls: Set[str] = set()  # bare X(...)
+def _charges_directly(fn: FunctionNode) -> bool:
+    return any(site.is_attr and site.name in CHARGES | COSTED_DELEGATES
+               for site in fn.calls)
 
 
-def _collect(func: ast.AST) -> _FunctionFacts:
-    facts = _FunctionFacts()
-
-    def visit(node: ast.AST) -> None:
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                  ast.ClassDef)):
-                continue  # nested scopes are analysed on their own
-            if isinstance(child, ast.Call):
-                _note_call(child, facts)
-            visit(child)
-
-    visit(func)
-    return facts
-
-
-def _note_call(call: ast.Call, facts: _FunctionFacts) -> None:
-    func = call.func
-    if isinstance(func, ast.Attribute):
-        name = func.attr
-        if name in CHARGES or name in COSTED_DELEGATES:
-            facts.charges = True
-        if name in PRIMITIVES:
-            facts.primitive_nodes.append((call, name))
-        if isinstance(func.value, ast.Name) and func.value.id in ("self", "cls"):
-            facts.self_calls.add(name)
-    elif isinstance(func, ast.Name):
-        facts.local_calls.add(func.id)
+def _graph_charges(graph: CallGraph, key: FuncKey,
+                   seen: Set[FuncKey]) -> bool:
+    if key in seen or key not in graph.functions:
+        return False
+    seen.add(key)
+    fn = graph.functions[key]
+    if _charges_directly(fn):
+        return True
+    return any(
+        _graph_charges(graph, site.callee, seen)
+        for site in fn.calls if site.callee is not None
+    )
 
 
 class CycleAccountingRule(Rule):
@@ -92,51 +72,38 @@ class CycleAccountingRule(Rule):
     name = "cycle-accounting"
     summary = ("hw/ and core/ functions touching memory/cipher "
                "primitives must charge the CycleAccount (directly or "
-               "via a local helper)")
+               "via any helper reachable on the shared call graph)")
 
-    def check(self, mod: ModuleInfo):
+    def __init__(self) -> None:
+        self._project = None
+
+    def begin_project(self, project) -> None:
+        self._project = project
+
+    def _graph_for(self, mod: ModuleInfo) -> CallGraph:
+        if self._project is not None and mod in self._project:
+            return self._project.callgraph
+        return CallGraph.build([mod])
+
+    def check(self, mod: ModuleInfo) -> Iterator:
         if not any(mod.module == p or mod.module.startswith(p + ".")
                    for p in CHECKED_PREFIXES):
             return
-
-        # Index every function by (class qualname or None, name).
-        functions: Dict[Tuple[Optional[str], str], _FunctionFacts] = {}
-
-        def index(node: ast.AST, cls: Optional[str]) -> None:
-            for child in ast.iter_child_nodes(node):
-                if isinstance(child, ast.ClassDef):
-                    index(child, child.name)
-                elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    functions[(cls, child.name)] = _collect(child)
-                    index(child, cls)  # nested defs keep class scope
-
-        index(mod.tree, None)
-
-        def graph_charges(key: Tuple[Optional[str], str],
-                          seen: Set[Tuple[Optional[str], str]]) -> bool:
-            if key in seen or key not in functions:
-                return False
-            seen.add(key)
-            facts = functions[key]
-            if facts.charges:
-                return True
-            cls = key[0]
-            callees = set()
-            if cls is not None:
-                callees |= {(cls, n) for n in facts.self_calls}
-            callees |= {(None, n) for n in facts.local_calls}
-            return any(graph_charges(c, seen) for c in callees)
-
-        for key, facts in functions.items():
-            if not facts.primitive_nodes:
+        graph = self._graph_for(mod)
+        for fn in graph.functions_in(mod):
+            primitive_sites = [
+                site for site in fn.calls
+                if site.is_attr and site.name in PRIMITIVES
+            ]
+            if not primitive_sites:
                 continue
-            if graph_charges(key, set()):
+            if _graph_charges(graph, fn.key, set()):
                 continue
-            for node, primitive in facts.primitive_nodes:
+            for site in primitive_sites:
                 yield self.finding(
-                    mod, node,
-                    f"'{primitive}' is a costed primitive but nothing in "
-                    "this function's local call graph charges the "
+                    mod, site.node,
+                    f"'{site.name}' is a costed primitive but nothing in "
+                    "this function's call graph charges the "
                     "CycleAccount; charge the appropriate CostTable "
                     "entry (or delegate to a costed engine path)",
                 )

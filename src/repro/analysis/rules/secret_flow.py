@@ -1,0 +1,74 @@
+"""SEC002/SEC003: interprocedural secret-flow enforcement.
+
+SEC001 catches the *syntactic* leak (printing a variable literally
+named ``key``); these two rules catch the *semantic* one — a value
+derived from key material or decrypted page contents that reaches a
+guest-visible surface through any chain of assignments, helper calls,
+containers or string formatting.  Both ride on the shared call graph
+and taint engine in :mod:`repro.analysis.flow`; see that module's
+docstring for the source/sanitizer/sink model.
+
+* ``SEC002`` — a secret escapes to a guest-visible sink: a
+  ``print``/``logging`` call, an exception message, a physical-frame
+  write outside the cloak engine's encrypt path, or a hypercall
+  return payload.
+* ``SEC003`` — secret-derived plaintext is persisted unsealed: it
+  reaches ``write_block`` without passing through ``seal_message`` /
+  ``encrypt_page``.
+
+Deliberate flows (the decrypt-in-place frame write, the protected
+hypercall reply channel) carry inline ``repro: allow(...)`` comments
+at their sites, so the rule's job is to keep *every other* path shut.
+"""
+
+from typing import Iterator, Optional, Sequence
+
+from repro.analysis.engine import ModuleInfo
+from repro.analysis.flow.taint import (KIND_FRAME, KIND_HC_RETURN, KIND_LOG,
+                                       KIND_PERSIST, KIND_RAISE, _checked)
+from repro.analysis.rules.base import Rule
+
+
+class _TaintRule(Rule):
+    """Shared plumbing: resolve the project (or ad-hoc) taint analysis
+    and re-emit its findings through the standard Finding machinery."""
+
+    kinds: Sequence[str] = ()
+
+    def __init__(self) -> None:
+        self._project = None
+
+    def begin_project(self, project) -> None:
+        self._project = project
+
+    def _taint_for(self, mod: ModuleInfo):
+        if self._project is not None and mod in self._project:
+            return self._project.taint
+        from repro.analysis.flow import ProjectContext
+        return ProjectContext([mod]).taint
+
+    def check(self, mod: ModuleInfo) -> Iterator:
+        if not _checked(mod.module):
+            return
+        taint = self._taint_for(mod)
+        for leak in taint.findings_for(mod, self.kinds):
+            yield self.finding(mod, leak.node, leak.message)
+
+
+class SecretFlowRule(_TaintRule):
+    rule_id = "SEC002"
+    name = "secret-flow"
+    summary = ("no value derived from key material or decrypted page "
+               "contents may reach a guest-visible sink (print/log, "
+               "exception message, raw frame write, hypercall return) "
+               "— interprocedural, over the shared call graph")
+    kinds = (KIND_LOG, KIND_RAISE, KIND_FRAME, KIND_HC_RETURN)
+
+
+class UnsealedPersistRule(_TaintRule):
+    rule_id = "SEC003"
+    name = "plaintext-persisted-unsealed"
+    summary = ("secret-derived plaintext must pass through seal_message/"
+               "encrypt_page before any write_block — cloaked data on "
+               "disk is ciphertext, always")
+    kinds = (KIND_PERSIST,)

@@ -510,6 +510,10 @@ class VMM(TranslationAuthority):
             raise IntegrityViolation(domain.domain_id, channel_id,
                                      "sealed channel record rejected")
         self.stats.bump("vmm.channel_opens")
+        # repro: allow(SEC002) — hypercall results return directly into
+        # the cloaked caller's user context (hypercalls never transit
+        # the guest kernel, see repro.core.hypercall); delivering the
+        # opened message to its owner is this call's whole purpose.
         return plaintext
 
     # ------------------------------------------------------------------

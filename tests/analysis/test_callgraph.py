@@ -1,0 +1,209 @@
+"""The shared call graph: indexing, resolution, and type-lite lookup."""
+
+from repro.analysis.flow.callgraph import MODULE_SCOPE, CallGraph
+
+
+def build(tree, *specs):
+    mods = [tree.module(relpath, source) for relpath, source in specs]
+    return CallGraph.build(mods), mods
+
+
+def sites_of(graph, mod, qualname):
+    fn = graph.functions[(mod.module, qualname)]
+    return {site.name: site for site in fn.calls}
+
+
+def test_bare_call_resolves_to_module_function(tree):
+    graph, (mod,) = build(tree, ("repro/core/a.py", """\
+        def helper():
+            return 1
+
+        def caller():
+            return helper()
+        """))
+    site = sites_of(graph, mod, "caller")["helper"]
+    assert site.callee == ("repro.core.a", "helper")
+    assert not site.is_attr
+
+
+def test_bare_call_prefers_nested_def(tree):
+    graph, (mod,) = build(tree, ("repro/core/a.py", """\
+        def helper():
+            return "module"
+
+        def caller():
+            def helper():
+                return "nested"
+            return helper()
+        """))
+    site = sites_of(graph, mod, "caller")["helper"]
+    assert site.callee == ("repro.core.a", "caller.helper")
+
+
+def test_self_method_call_resolves(tree):
+    graph, (mod,) = build(tree, ("repro/core/a.py", """\
+        class Engine:
+            def step(self):
+                return self.tick()
+
+            def tick(self):
+                return 1
+        """))
+    site = sites_of(graph, mod, "Engine.step")["tick"]
+    assert site.callee == ("repro.core.a", "Engine.tick")
+    assert site.is_attr
+
+
+def test_self_method_call_walks_declared_bases(tree):
+    graph, (mod,) = build(tree, ("repro/core/a.py", """\
+        class Base:
+            def tick(self):
+                return 1
+
+        class Engine(Base):
+            def step(self):
+                return self.tick()
+        """))
+    site = sites_of(graph, mod, "Engine.step")["tick"]
+    assert site.callee == ("repro.core.a", "Base.tick")
+
+
+def test_parameter_annotation_types_the_receiver(tree):
+    graph, mods = build(
+        tree,
+        ("repro/core/lib.py", """\
+            class Cipher:
+                def seal(self, data):
+                    return data
+            """),
+        ("repro/core/use.py", """\
+            from repro.core.lib import Cipher
+
+            def run(cipher: Cipher):
+                return cipher.seal(b"x")
+            """))
+    site = sites_of(graph, mods[1], "run")["seal"]
+    assert site.callee == ("repro.core.lib", "Cipher.seal")
+
+
+def test_constructor_assignment_types_the_variable(tree):
+    graph, mods = build(
+        tree,
+        ("repro/core/lib.py", """\
+            class Cipher:
+                def __init__(self):
+                    pass
+
+            def seal_all(self):
+                pass
+            """),
+        ("repro/core/use.py", """\
+            from repro.core.lib import Cipher
+
+            def run():
+                c = Cipher()
+                return c.noop()
+
+            class Holder:
+                def __init__(self):
+                    self.cipher = Cipher()
+
+                def go(self):
+                    return self.cipher.noop()
+            """))
+    ctor = sites_of(graph, mods[1], "run")["Cipher"]
+    assert ctor.is_constructor
+    assert ctor.callee == ("repro.core.lib", "Cipher.__init__")
+    # Instance-attribute type harvested from __init__:
+    holder = graph.classes[("repro.core.use", "Holder")]
+    assert holder.attr_types["cipher"] == ("repro.core.lib", "Cipher")
+
+
+def test_return_annotation_chains_attribute_calls(tree):
+    graph, (mod,) = build(tree, ("repro/core/a.py", """\
+        class Domain:
+            def unlock(self):
+                return 1
+
+        class Registry:
+            def get(self, view) -> "Domain":
+                return Domain()
+
+        class VMM:
+            def __init__(self):
+                self.domains = Registry()
+
+            def handle(self, view):
+                return self.domains.get(view).unlock()
+        """))
+    sites = sites_of(graph, mod, "VMM.handle")
+    assert sites["get"].callee == ("repro.core.a", "Registry.get")
+    assert sites["unlock"].callee == ("repro.core.a", "Domain.unlock")
+
+
+def test_module_qualified_call_resolves_through_import_alias(tree):
+    graph, mods = build(
+        tree,
+        ("repro/core/crypto.py", """\
+            def make_iv(salt):
+                return salt
+            """),
+        ("repro/core/use.py", """\
+            from repro.core import crypto
+
+            def run():
+                return crypto.make_iv(0)
+            """))
+    site = sites_of(graph, mods[1], "run")["make_iv"]
+    assert site.callee == ("repro.core.crypto", "make_iv")
+
+
+def test_unresolved_attribute_call_keeps_terminal_name(tree):
+    graph, (mod,) = build(tree, ("repro/core/a.py", """\
+        def run(mystery):
+            return mystery.write_frame(0, b"x")
+        """))
+    site = sites_of(graph, mod, "run")["write_frame"]
+    assert site.callee is None
+    assert site.is_attr
+    fn = graph.functions[(mod.module, "run")]
+    assert "write_frame" in fn.call_names
+
+
+def test_module_scope_is_a_pseudo_function(tree):
+    graph, (mod,) = build(tree, ("repro/core/a.py", """\
+        def helper():
+            return 1
+
+        X = helper()
+        """))
+    pseudo = graph.functions[(mod.module, MODULE_SCOPE)]
+    assert any(site.callee == ("repro.core.a", "helper")
+               for site in pseudo.calls)
+    # functions_in hides module scope unless asked.
+    quals = {fn.qualname for fn in graph.functions_in(mod)}
+    assert quals == {"helper"}
+    quals = {fn.qualname
+             for fn in graph.functions_in(mod, include_module_scope=True)}
+    assert MODULE_SCOPE in quals
+
+
+def test_arg_to_param_accounts_for_bound_self(tree):
+    graph, (mod,) = build(tree, ("repro/core/a.py", """\
+        class Engine:
+            def seal(self, data):
+                return data
+
+            @staticmethod
+            def pure(data):
+                return data
+
+        def free(data):
+            return data
+        """))
+    seal = graph.functions[(mod.module, "Engine.seal")]
+    pure = graph.functions[(mod.module, "Engine.pure")]
+    free = graph.functions[(mod.module, "free")]
+    assert seal.arg_to_param(0) == 1   # positional arg 0 -> 'data'
+    assert pure.arg_to_param(0) == 0
+    assert free.arg_to_param(0) == 0

@@ -48,9 +48,17 @@ def test_missing_path_exits_two(tmp_path):
     assert "no such path" in text
 
 
-def test_unknown_rule_exits_two(tmp_path):
+def test_unknown_rule_exits_two_and_names_it(tmp_path):
     code, text = run_cli([str(tmp_path), "--rules", "NOPE999"])
     assert code == 2
+    assert "NOPE999" in text
+    assert "SEC002" in text  # the known ids are listed for correction
+
+
+def test_unknown_rule_reported_among_valid_ones(tmp_path):
+    code, text = run_cli([str(tmp_path), "--rules", "TB001,NOPE999,SEC003"])
+    assert code == 2
+    assert "NOPE999" in text
 
 
 def test_rules_filter(tmp_path):
@@ -108,6 +116,73 @@ def test_write_baseline_requires_reason(tmp_path):
     root = make_dirty(tmp_path)
     code, text = run_cli([str(root), "--write-baseline", "  "])
     assert code == 2
+
+
+def test_format_sarif_flag(tmp_path):
+    root = make_dirty(tmp_path)
+    code, text = run_cli([str(root), "--no-baseline", "--format", "sarif"])
+    assert code == 1
+    doc = json.loads(text)
+    assert doc["version"] == "2.1.0"
+    assert doc["runs"][0]["results"][0]["ruleId"] == "DET001"
+
+
+def test_json_flag_is_an_alias_for_format_json(tmp_path):
+    root = make_dirty(tmp_path)
+    _, via_json = run_cli([str(root), "--no-baseline", "--json"])
+    _, via_format = run_cli([str(root), "--no-baseline", "--format", "json"])
+    assert json.loads(via_json) == json.loads(via_format)
+
+
+def _git(root, *args):
+    subprocess.run(
+        ["git", "-C", str(root), "-c", "user.email=t@t", "-c",
+         "user.name=t", *args],
+        check=True, capture_output=True)
+
+
+def test_changed_only_checks_only_changed_files(tmp_path, monkeypatch):
+    root = make_dirty(tmp_path)
+    (root / "pyproject.toml").write_text(
+        "[tool.repro-analysis]\npaths = [\"repro\"]\n")
+    (root / "repro" / "hw" / "stable.py").write_text("x = 1\n")
+    _git(root, "init", "-q")
+    _git(root, "add", "-A")
+    _git(root, "commit", "-qm", "seed")
+    monkeypatch.chdir(root)
+
+    # Nothing changed: nothing rule-checked, exit 0.
+    code, text = run_cli(["--no-baseline", "--changed-only"])
+    assert code == 0
+    assert "0 finding(s)" in text
+
+    # Touch only the clock module: its DET001 comes back, stable.py
+    # stays out of the checked count.
+    clock = root / "repro" / "hw" / "clock.py"
+    clock.write_text(clock.read_text() + "u = time.time()\n")
+    code, text = run_cli(["--no-baseline", "--changed-only"])
+    assert code == 1
+    assert "DET001" in text
+    assert "1 files" in text
+
+    # Untracked files count as changed too.
+    (root / "repro" / "hw" / "fresh.py").write_text("y = 2\n")
+    code, text = run_cli(["--no-baseline", "--changed-only"])
+    assert "2 files" in text
+
+
+def test_changed_only_bad_ref_exits_two(tmp_path, monkeypatch):
+    root = make_dirty(tmp_path)
+    (root / "pyproject.toml").write_text(
+        "[tool.repro-analysis]\npaths = [\"repro\"]\n")
+    _git(root, "init", "-q")
+    _git(root, "add", "-A")
+    _git(root, "commit", "-qm", "seed")
+    monkeypatch.chdir(root)
+    code, text = run_cli(["--no-baseline", "--changed-only",
+                          "--since", "no-such-ref"])
+    assert code == 2
+    assert "error:" in text
 
 
 def test_module_entry_point_runs():

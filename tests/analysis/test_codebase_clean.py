@@ -41,9 +41,10 @@ def test_codebase_is_clean():
     assert report.files_checked >= 90
 
 
-def test_all_six_rules_ran():
+def test_all_registered_rules_ran():
     assert sorted(r.rule_id for r in ALL_RULES) == [
-        "API001", "CYC001", "DET001", "ERR001", "SEC001", "TB001",
+        "API001", "CYC001", "DET001", "ERR001", "SEC001", "SEC002",
+        "SEC003", "TB001",
     ]
 
 

@@ -1,0 +1,196 @@
+"""SEC002/SEC003: interprocedural secret-flow fixtures.
+
+Every fixture lives under ``repro/core`` or ``repro/hw`` because the
+taint pass only enforces sinks inside the TCB and the simulated
+hardware; the last test pins that scoping down.
+"""
+
+from repro.analysis.rules.secret_flow import SecretFlowRule, UnsealedPersistRule
+
+
+def run_flow(tree):
+    """Fresh rule instances per run — no shared project state."""
+    return tree.run([SecretFlowRule(), UnsealedPersistRule()])
+
+
+def rules_fired(report):
+    return sorted({f.rule for f in report.findings})
+
+
+def test_direct_print_of_decrypted_page(tree):
+    tree.write("repro/core/leaky.py", """\
+        def handler(cipher, frame):
+            data = cipher.decrypt_page(0, frame)
+            print(data)
+        """)
+    report = run_flow(tree)
+    assert rules_fired(report) == ["SEC002"]
+    assert "print" in report.findings[0].message
+
+
+def test_taint_survives_variables_and_fstrings(tree):
+    tree.write("repro/core/leaky.py", """\
+        def handler(cipher, frame):
+            data = cipher.decrypt_page(0, frame)
+            note = f"page contents: {data!r}"
+            wrapped = ("prefix", note)
+            print(wrapped)
+        """)
+    report = run_flow(tree)
+    assert rules_fired(report) == ["SEC002"]
+
+
+def test_helper_return_value_stays_hot(tree):
+    tree.write("repro/core/leaky.py", """\
+        def fetch(cipher, frame):
+            return cipher.decrypt_page(0, frame)
+
+        def handler(cipher, frame):
+            print(fetch(cipher, frame))
+        """)
+    report = run_flow(tree)
+    assert rules_fired(report) == ["SEC002"]
+    assert report.findings[0].context == "handler"
+
+
+def test_secret_into_leaky_callee_flags_the_call_site(tree):
+    tree.write("repro/core/leaky.py", """\
+        def log_it(value):
+            print(value)
+
+        def handler(cipher, frame):
+            data = cipher.decrypt_page(0, frame)
+            log_it(data)
+        """)
+    report = run_flow(tree)
+    assert rules_fired(report) == ["SEC002"]
+    finding = report.findings[0]
+    assert finding.context == "handler"
+    assert "log_it" in finding.message
+
+
+def test_cross_module_helper_flow(tree):
+    tree.write("repro/core/helpers.py", """\
+        def reveal(value):
+            print(value)
+        """)
+    tree.write("repro/core/user.py", """\
+        from repro.core.helpers import reveal
+
+        def handler(cipher, frame):
+            reveal(cipher.decrypt_page(0, frame))
+        """)
+    report = run_flow(tree)
+    assert rules_fired(report) == ["SEC002"]
+    assert report.findings[0].path.endswith("user.py")
+
+
+def test_key_attribute_read_is_a_source(tree):
+    tree.write("repro/core/leaky.py", """\
+        class Cipher:
+            def dump(self):
+                raise ValueError(f"state: {self._enc_key}")
+        """)
+    report = run_flow(tree)
+    assert rules_fired(report) == ["SEC002"]
+    assert "exception message" in report.findings[0].message
+
+
+def test_hypercall_return_of_plaintext(tree):
+    tree.write("repro/core/vmmish.py", """\
+        def _hc_read(cipher, frame):
+            return cipher.decrypt_page(0, frame)
+        """)
+    report = run_flow(tree)
+    assert rules_fired(report) == ["SEC002"]
+    assert "hypercall" in report.findings[0].message
+
+
+def test_unsealed_write_block_is_sec003(tree):
+    tree.write("repro/core/persist.py", """\
+        def save(cipher, disk, frame):
+            data = cipher.decrypt_page(0, frame)
+            disk.write_block(0, data)
+        """)
+    report = run_flow(tree)
+    assert rules_fired(report) == ["SEC003"]
+    assert "seal_message" in report.findings[0].message
+
+
+def test_sealed_write_block_is_clean(tree):
+    tree.write("repro/core/persist.py", """\
+        def save(cipher, disk, frame):
+            data = cipher.decrypt_page(0, frame)
+            disk.write_block(0, cipher.seal_message(0, data))
+        """)
+    report = run_flow(tree)
+    assert report.findings == []
+
+
+def test_encrypt_sanitizes_even_through_a_variable(tree):
+    tree.write("repro/core/clean.py", """\
+        def flush(cipher, phys, frame):
+            data = cipher.decrypt_page(0, frame)
+            sealed = cipher.encrypt_page(0, data)
+            phys.write_frame(0, sealed)
+            print(len(data))
+        """)
+    report = run_flow(tree)
+    assert report.findings == []
+
+
+def test_decrypt_encrypt_alias_judged_by_call_site_name(tree):
+    """``decrypt = encrypt`` (the keystream cipher is symmetric): the
+    *call site's* name decides — encrypt() stays clean, decrypt() is
+    hot — regardless of the shared implementation."""
+    tree.write("repro/core/sym.py", """\
+        class Cipher:
+            def encrypt(self, data):
+                return bytes(data)
+
+            decrypt = encrypt
+
+        def ok(c: Cipher, data):
+            print(c.encrypt(data))
+
+        def bad(c: Cipher, data):
+            print(c.decrypt(data))
+        """)
+    report = run_flow(tree)
+    assert len(report.findings) == 1
+    assert report.findings[0].context == "bad"
+
+
+def test_inline_allow_suppresses_with_reason(tree):
+    tree.write("repro/core/leaky.py", """\
+        def handler(cipher, frame):
+            data = cipher.decrypt_page(0, frame)
+            print(data)  # repro: allow(SEC002) — audited demo channel
+        """)
+    report = run_flow(tree)
+    assert report.findings == []
+    assert len(report.suppressed) == 1
+    assert report.suppressed[0].rule == "SEC002"
+
+
+def test_raise_with_clean_message_is_fine(tree):
+    tree.write("repro/core/errs.py", """\
+        def check(cipher, frame, expected):
+            data = cipher.decrypt_page(0, frame)
+            if len(data) != expected:
+                raise ValueError(f"length mismatch: {len(data)}")
+        """)
+    report = run_flow(tree)
+    assert report.findings == []
+
+
+def test_sinks_outside_checked_modules_are_not_enforced(tree):
+    """guestos/attacks code handles ciphertext it cannot decrypt; the
+    taint rules scope to the TCB and hardware (ROADMAP tracks widening
+    this)."""
+    tree.write("repro/guestos/tool.py", """\
+        def handler(cipher, frame):
+            print(cipher.decrypt_page(0, frame))
+        """)
+    report = run_flow(tree)
+    assert report.findings == []

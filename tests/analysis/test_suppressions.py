@@ -32,6 +32,36 @@ def test_comment_line_above_suppresses_next_code_line(tree):
     assert len(report.suppressed) == 1
 
 
+def test_wrapped_comment_block_skips_blank_lines_to_next_code(tree):
+    """The allow may open a multi-line justification block separated
+    from the statement by further comments *and* blank lines."""
+    tree.write("repro/core/leaky.py", """\
+        # repro: allow(SEC002) — demo diagnostics channel reviewed in
+        # PR 4; the value printed here is a truncated digest, kept as
+        # the worked example for the docs.
+
+        # (unrelated comment between the block and the code)
+        def handler(cipher, frame):
+            print(cipher.decrypt_page(0, frame))
+        """)
+    report = run_all(tree)
+    # The allow binds to the next *code* line (the def), not the print
+    # two lines further down — the leak is still reported.
+    assert any(f.rule == "SEC002" for f in report.findings)
+
+    tree.write("repro/core/leaky2.py", """\
+        def handler(cipher, frame):
+            # repro: allow(SEC002) — demo diagnostics channel, wrapped
+            # justification spanning several comment lines before the
+            # statement it covers.
+
+            print(cipher.decrypt_page(0, frame))
+        """)
+    report = run_all(tree)
+    leaks2 = [f for f in report.suppressed if "leaky2" in f.path]
+    assert len(leaks2) == 1
+
+
 def test_allow_without_reason_is_inert(tree):
     tree.write("repro/hw/clock3.py", """\
         import time
