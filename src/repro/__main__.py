@@ -5,6 +5,7 @@ Usage::
     python -m repro                # run every experiment, print tables
     python -m repro r-f1 r-t2     # run selected experiments
     python -m repro --list        # show available experiments
+    python -m repro faults        # differential conformance + fault matrix
 """
 
 import sys
@@ -18,6 +19,7 @@ def _experiments() -> Dict[str, Callable]:
         exp_attacks,
         exp_channels,
         exp_compute,
+        exp_faults,
         exp_fileio,
         exp_forkexec,
         exp_overhead,
@@ -32,6 +34,7 @@ def _experiments() -> Dict[str, Callable]:
         "r-t2": exp_syscalls.run,
         "r-t3": exp_overhead.run,
         "r-t4": exp_attacks.run,
+        "r-t5": exp_faults.run,
         "r-f1": exp_compute.run,
         "r-f2": exp_fileio.run,
         "r-f3": exp_webserver.run,
@@ -50,6 +53,7 @@ DESCRIPTIONS = {
     "r-t2": "syscall microbenchmarks (native vs cloaked)",
     "r-t3": "VMM resource overhead + event counts",
     "r-t4": "security evaluation (attack outcome matrix)",
+    "r-t5": "fault-injection recovery matrix (extension)",
     "r-f1": "compute workloads, normalized runtime",
     "r-f2": "file-I/O bandwidth vs buffer size",
     "r-f3": "web-server throughput vs concurrency",
@@ -63,8 +67,55 @@ DESCRIPTIONS = {
 }
 
 
+def _faults_main(args) -> int:
+    """``python -m repro faults``: the fault-injection oracle.
+
+    Runs the differential conformance sweep (every registered app,
+    native vs cloaked, double-run determinism) and the fault-recovery
+    matrix; exits non-zero if any invariant fails.  ``--seed N``
+    reseeds the matrix plans; ``--matrix-only`` skips the (slower)
+    conformance sweep.
+    """
+    from repro.faults import oracle
+
+    seed = 7
+    if "--seed" in args:
+        seed = int(args[args.index("--seed") + 1])
+
+    failures = 0
+    if "--matrix-only" not in args:
+        print("## differential conformance (native vs cloaked, "
+              "double-run determinism)")
+        results = oracle.run_conformance(verbose=True)
+        bad = [r for r in results if not r.ok]
+        failures += len(bad)
+        print(f"conformance: {len(results)} programs, "
+              f"{len(bad)} failures")
+
+    print(f"\n## fault-recovery matrix (seed {seed})")
+    from repro.bench import exp_faults
+
+    rows = exp_faults.run(verbose=True, seed=seed)
+    escaped = [r for r in rows
+               if r.outcome not in oracle.CONTAINED_OUTCOMES]
+    unfired = [r for r in rows if r.fires == 0]
+    for row in escaped:
+        print(f"NOT CONTAINED: {row.site} -> {row.outcome}  "
+              f"replay: {row.replay}")
+    for row in unfired:
+        print(f"NEVER FIRED: {row.site}  replay: {row.replay}")
+    failures += len(escaped) + len(unfired)
+    print("fault matrix: "
+          + ("all contained" if not (escaped or unfired) else "FAILED"))
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
+
+    if args and args[0].lower() == "faults":
+        return _faults_main([a.lower() for a in args[1:]])
+
     experiments = _experiments()
 
     if "--list" in args or "-l" in args:

@@ -19,7 +19,7 @@ Sanitizers (derived data becomes safe to expose)
   ``encrypt`` / ``encrypt_page`` / ``seal_message`` / ``page_mac`` /
   ``hash_image`` / ``macs_equal`` / ``verify_page``.
 
-Sinks (guest-visible surfaces; checked in ``repro.core``/``repro.hw``)
+Sinks (guest-visible surfaces; enforced per package — ``SINK_POLICY``)
   * ``print`` / ``logging`` calls;
   * exception constructor arguments (messages propagate across the
     trust boundary when the violation is reported);
@@ -27,6 +27,11 @@ Sinks (guest-visible surfaces; checked in ``repro.core``/``repro.hw``)
     physical frame write outside the cloak engine's encrypt path;
   * ``return`` payloads of hypercall handlers (``_hc_*``);
   * ``write_block`` of tainted data (plaintext persisted unsealed).
+
+The TCB (``repro.core``/``repro.hw``) is held to all five kinds.
+``repro.guestos`` and ``repro.attacks`` hold secret-derived buffers
+legitimately but may not re-expose them: log and persist sinks are
+enforced there too.
 
 Each function gets a *summary* — ``returns_tainted``, the params whose
 taint flows to the return value, and ``params_that_reach_sinks`` — so
@@ -72,9 +77,6 @@ SOURCE_PARAM_MODULES = {"repro.core.crypto", "repro.core.domains"}
 SECRET_WORDS = {"key", "keys", "keystream", "secret", "secrets", "master",
                 "plaintext", "passphrase", "password"}
 
-#: Modules whose sinks are enforced (the TCB and the simulated hardware).
-CHECKED_PREFIXES = ("repro.core", "repro.hw")
-
 #: Guest-readable output calls.
 LOG_SINKS = {"print", "debug", "info", "warning", "error", "critical",
              "exception", "log"}
@@ -93,14 +95,41 @@ KIND_FRAME = "frame"
 KIND_HC_RETURN = "hypercall-return"
 KIND_PERSIST = "persist"
 
+ALL_KINDS = frozenset({KIND_LOG, KIND_RAISE, KIND_FRAME, KIND_HC_RETURN,
+                       KIND_PERSIST})
+
+#: Per-package sink policy: which sink kinds are enforced in which
+#: package (longest prefix wins).  The TCB and the simulated hardware
+#: are held to every sink.  ``repro.guestos`` and ``repro.attacks``
+#: legitimately *hold* secret-derived bytes — a debugger attack keeps
+#: the buffer it captured, the swap daemon moves ciphertext it cannot
+#: read — but they may not *re-expose* them: no guest-readable output
+#: and no unsealed persistence.  Exception messages, frame writes and
+#: hypercall returns are internal mechanism there, not exposure.
+SINK_POLICY: Dict[str, FrozenSet[str]] = {
+    "repro.core": ALL_KINDS,
+    "repro.hw": ALL_KINDS,
+    "repro.guestos": frozenset({KIND_LOG, KIND_PERSIST}),
+    "repro.attacks": frozenset({KIND_LOG, KIND_PERSIST}),
+}
+
 
 def _secret_named(identifier: str) -> bool:
     return any(seg in SECRET_WORDS for seg in identifier.lower().split("_"))
 
 
+def sink_kinds_for(module_name: str) -> FrozenSet[str]:
+    """The sink kinds enforced in ``module_name`` (longest prefix wins)."""
+    best, kinds = -1, frozenset()  # type: int, FrozenSet[str]
+    for prefix, policy in SINK_POLICY.items():
+        if module_name == prefix or module_name.startswith(prefix + "."):
+            if len(prefix) > best:
+                best, kinds = len(prefix), policy
+    return kinds
+
+
 def _checked(module_name: str) -> bool:
-    return any(module_name == p or module_name.startswith(p + ".")
-               for p in CHECKED_PREFIXES)
+    return bool(sink_kinds_for(module_name))
 
 
 class Summary:
@@ -164,7 +193,7 @@ class TaintAnalysis:
     def _report(self) -> List[TaintFinding]:
         findings: List[TaintFinding] = []
         for fn in self.graph.functions.values():
-            if not _checked(fn.key[0]):
+            if not sink_kinds_for(fn.key[0]):
                 continue
             findings.extend(_FunctionPass(self, fn, collect=True).run())
         return findings
@@ -195,6 +224,7 @@ class _FunctionPass:
         self._emitted: Set[Tuple[int, str]] = set()
         self.env: Dict[str, Taint] = {}
         self._recording = False
+        self._policy = sink_kinds_for(fn.key[0])
         self._seed_params()
 
     # -- setup ------------------------------------------------------------------
@@ -326,7 +356,7 @@ class _FunctionPass:
         for token in taint:
             if token != SECRET:
                 self.summary.taints_return_from.add(token)
-        if self.fn.name.startswith("_hc_") and _checked(self.fn.key[0]):
+        if self.fn.name.startswith("_hc_") and KIND_HC_RETURN in self._policy:
             self._sink(stmt, taint, KIND_HC_RETURN,
                        "secret-derived value returned as a hypercall "
                        "payload")
@@ -518,7 +548,7 @@ class _FunctionPass:
         if name in LOG_SINKS:
             self._sink(call, taint, KIND_LOG,
                        f"secret-derived value reaches '{name}' — "
-                       "guest-readable output from the TCB")
+                       "guest-readable output")
         elif name in FRAME_SINK_NAMES or (
                 site is not None and site.callee in FRAME_SINK_CALLEES):
             self._sink(call, taint, KIND_FRAME,
@@ -534,7 +564,10 @@ class _FunctionPass:
               message: str) -> None:
         if not taint:
             return
-        if SECRET in taint and self.collect:
+        # Findings are filtered by the *anchoring* function's package
+        # policy; summaries below stay unfiltered so callers in stricter
+        # packages still see where their arguments end up.
+        if SECRET in taint and self.collect and kind in self._policy:
             key = (id(node), kind)
             if key not in self._emitted:
                 self._emitted.add(key)

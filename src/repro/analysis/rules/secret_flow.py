@@ -16,6 +16,13 @@ docstring for the source/sanitizer/sink model.
   reaches ``write_block`` without passing through ``seal_message`` /
   ``encrypt_page``.
 
+Scope is a per-package *sink policy* (``SINK_POLICY`` in the taint
+engine), not a binary checked/unchecked split: the TCB and hardware
+are held to every sink kind, while ``repro.guestos`` and
+``repro.attacks`` — which hold captured or in-transit secret-derived
+buffers legitimately — are barred from *re-exposing* them through log
+and persist sinks.
+
 Deliberate flows (the decrypt-in-place frame write, the protected
 hypercall reply channel) carry inline ``repro: allow(...)`` comments
 at their sites, so the rule's job is to keep *every other* path shut.
@@ -25,7 +32,8 @@ from typing import Iterator, Optional, Sequence
 
 from repro.analysis.engine import ModuleInfo
 from repro.analysis.flow.taint import (KIND_FRAME, KIND_HC_RETURN, KIND_LOG,
-                                       KIND_PERSIST, KIND_RAISE, _checked)
+                                       KIND_PERSIST, KIND_RAISE,
+                                       sink_kinds_for)
 from repro.analysis.rules.base import Rule
 
 
@@ -48,10 +56,11 @@ class _TaintRule(Rule):
         return ProjectContext([mod]).taint
 
     def check(self, mod: ModuleInfo) -> Iterator:
-        if not _checked(mod.module):
+        wanted = [k for k in self.kinds if k in sink_kinds_for(mod.module)]
+        if not wanted:
             return
         taint = self._taint_for(mod)
-        for leak in taint.findings_for(mod, self.kinds):
+        for leak in taint.findings_for(mod, wanted):
             yield self.finding(mod, leak.node, leak.message)
 
 

@@ -63,6 +63,10 @@ class CloakEngine:
         self.file_store = file_store
         self.config = config or CloakConfig()
         self._ciphers: Dict[int, PageCipher] = {}
+        #: Fault-injection hooks (repro.faults); None in normal runs.
+        #: The hooks only damage protocol metadata — the engine's own
+        #: checks must convert any such damage into typed violations.
+        self.faults = None
 
     # -- wiring ---------------------------------------------------------------
 
@@ -194,6 +198,18 @@ class CloakEngine:
         cipher = self.cipher_for(md.lineage_id)
         plaintext = self._phys.read_frame(gpfn)
         version = md.version + 1
+        if self.faults is not None:
+            version = self.faults.encrypt_version(md, version)
+        if md.has_ciphertext_record and version <= md.version:
+            # Version-monotonicity guard: encrypting under a
+            # non-advancing counter would reuse a (key, IV) pair and
+            # void CTR-mode confidentiality.  Refuse before any state
+            # is mutated; the caller's eviction simply does not happen.
+            self._stats.bump("cloak.violations")
+            raise IntegrityViolation(
+                md.owner_id, md.vpn,
+                "page version counter would not advance (IV reuse refused)",
+            )
         binding = md.mac_binding
         if self.config.integrity_only:
             # MAC the plaintext itself; nothing is hidden, only bound.
@@ -202,6 +218,11 @@ class CloakEngine:
         else:
             ciphertext, iv, mac = cipher.encrypt_page(binding, version,
                                                       plaintext)
+        if self.faults is not None:
+            # A torn metadata write may damage the *stored* MAC.  The
+            # ciphertext is untouched, so privacy is intact; the next
+            # verification of this page must fail closed.
+            mac = self.faults.mangle_mac(mac)
         self._phys.write_frame(gpfn, ciphertext)
         md.record_encryption(version, iv, mac)
         md.cached_ciphertext = None

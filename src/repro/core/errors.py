@@ -32,6 +32,21 @@ class FreshnessViolation(IntegrityViolation):
         self.stale_version = stale_version
 
 
+class StaleTranslationViolation(IntegrityViolation):
+    """The TLB served a translation the VMM had already revoked.
+
+    Raised by the VMM's shadow-coherence audit when a lost
+    invalidation (hardware fault, simulated by the fault-injection
+    harness) leaves a stale entry live and something *uses* it.  The
+    stale entry is invalidated for real before this is raised, so the
+    mapping is never actually exposed.
+    """
+
+    def __init__(self, asid: int, view: int, vpn: int):
+        super().__init__(view, vpn, f"stale TLB translation, asid {asid}")
+        self.asid = asid
+
+
 class IdentityViolation(OvershadowError):
     """A cloaked program image does not match its registered identity."""
 

@@ -90,6 +90,11 @@ class VMM(TranslationAuthority):
         #: flush shadow policy).
         self._last_view: Dict[int, int] = {}
 
+        #: Fault-injection hooks (repro.faults); None in normal runs.
+        #: Hooks can only degrade delivery/translation — they never
+        #: see key material or plaintext.
+        self.faults = None
+
         self._dispatcher = HypercallDispatcher()
         self._register_hypercalls()
         mmu.attach_authority(self)
@@ -130,6 +135,21 @@ class VMM(TranslationAuthority):
             # actually be permitted.
             leaf = self._walker.walk(root, vpn, set_dirty=True)
         gpfn = leaf.pfn
+        if self.faults is not None and view != SYSTEM_VIEW \
+                and self.domains.get(view).is_cloaked(vpn):
+            # Stale shadow-PTE injection: the fill may resolve a
+            # cloaked page to a frame it previously lived in.  Only
+            # ENCRYPTED pages are eligible — then the cloaking
+            # resolution below sees the stale frame and a wrong mapping
+            # can never verify: it either still holds this page's
+            # current ciphertext (harmless) or fails the MAC check
+            # (typed violation).  Pages with live plaintext are not
+            # redirected: their protection does not flow through a MAC
+            # check on this path, so a stale frame holding the current
+            # ciphertext could silently roll back un-encrypted writes.
+            md = self.metadata.lookup(self.domains.get(view).domain_id, vpn)
+            eligible = md is not None and md.state is CloakState.ENCRYPTED
+            gpfn = self.faults.translate_gpfn(asid, vpn, gpfn, eligible)
 
         self._resolve_cloaking(view, vpn, gpfn, access)
 
@@ -337,6 +357,22 @@ class VMM(TranslationAuthority):
         caller = self._cpu.view
         self._cycles.charge("vmm", self._costs.hypercall + self._costs.world_switch)
         self.stats.bump("vmm.hypercalls")
+        if self.faults is not None:
+            mode = self.faults.hypercall_fault(number)
+            if mode == "duplicate":
+                # Delivered twice.  Only idempotent calls are eligible
+                # (the hooks enforce that), so the first delivery's
+                # effect is absorbed and the second's result returned.
+                self._cycles.charge("vmm", self._costs.hypercall
+                                    + self._costs.world_switch)
+                self.stats.bump("vmm.hypercalls_duplicated")
+                self._dispatcher.dispatch(caller, number, args)
+            elif mode == "retry":
+                # Dropped, then re-issued by the shim: one extra trap's
+                # worth of cost, a single execution.
+                self._cycles.charge("vmm", self._costs.hypercall
+                                    + self._costs.world_switch)
+                self.stats.bump("vmm.hypercalls_retried")
         return self._dispatcher.dispatch(caller, number, args)
 
     def _register_hypercalls(self) -> None:

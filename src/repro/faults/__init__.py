@@ -1,0 +1,33 @@
+"""Deterministic fault injection + differential conformance.
+
+Public surface:
+
+* :mod:`repro.faults.plan` — seeded :class:`FaultPlan` schedules and
+  the injection-point catalog.
+* :mod:`repro.faults.injector` — fault-injecting component variants,
+  wired in by ``Machine(fault_plan=...)``.
+* :mod:`repro.faults.oracle` — the native-vs-cloaked differential
+  conformance runner and the R-T5 fault-recovery matrix.  Imported
+  directly (not re-exported here) because it depends on
+  :mod:`repro.machine`, which itself imports this package.
+"""
+
+from repro.faults.plan import (
+    CONTAIN_DETECT,
+    CONTAIN_RECOVER,
+    INJECTION_POINTS,
+    FaultArm,
+    FaultDecision,
+    FaultPlan,
+    InjectionPoint,
+)
+
+__all__ = [
+    "CONTAIN_DETECT",
+    "CONTAIN_RECOVER",
+    "INJECTION_POINTS",
+    "FaultArm",
+    "FaultDecision",
+    "FaultPlan",
+    "InjectionPoint",
+]

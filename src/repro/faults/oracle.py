@@ -1,0 +1,500 @@
+"""Differential-conformance oracle for the fault-injection subsystem.
+
+Two jobs, both built on the same :func:`run_once` harness:
+
+**Conformance** (:func:`run_conformance`): every program in
+:data:`repro.apps.registry.ALL_PROGRAMS` is executed natively and
+cloaked, twice each with the same seed, and the oracle asserts
+
+* *transparency* — native and cloaked runs agree on architectural
+  state: exit status, console bytes, and the logical contents of every
+  file the program produced (protected files are reconstructed by
+  verify+decrypt from the persistent metadata store);
+* *determinism* — two same-seed runs of the same configuration are
+  byte-identical, down to the cycle counter;
+* *hygiene* — a completed cloaked run leaves no plaintext secret
+  marker anywhere kernel-visible (physical frames or disk blocks).
+
+**Fault-recovery matrix** (:func:`run_fault_matrix`): for every
+registered injection point, a cloaked workload runs under an armed
+:class:`~repro.faults.plan.FaultPlan` and the outcome is classified:
+
+* ``RECOVERED`` — architectural state identical to the fault-free run,
+  no violations raised (the stack absorbed the fault);
+* ``DETECTED``  — the run degraded, but every divergence is announced
+  by a typed :class:`~repro.core.errors.OvershadowError`;
+* ``EXPOSED``   — the secret marker became kernel-visible (must never
+  happen: this is the privacy guarantee);
+* ``CORRUPTED`` — silent divergence without a violation (must never
+  happen: this is the integrity guarantee).
+
+The invariant the subsystem exists to demonstrate: every matrix row is
+``RECOVERED`` or ``DETECTED``.  Availability is sacrificial —
+Overshadow promises privacy and integrity, never progress.
+"""
+
+import hashlib
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.apps.registry import ALL_PROGRAMS, make_secure_dirs, register_all
+from repro.apps.secrets import SECRET
+from repro.core.errors import OvershadowError
+from repro.core.metadata import FILE_BINDING_FLAG
+from repro.faults.plan import (
+    INJECTION_POINTS,
+    SITE_DISK_READ_BITFLIP,
+    SITE_DISK_READ_ERROR,
+    SITE_DISK_WRITE_BITFLIP,
+    SITE_DISK_WRITE_LOST,
+    SITE_DISK_WRITE_TORN,
+    SITE_EVICT_UNDER_USE,
+    SITE_HYPERCALL_DUPLICATE,
+    SITE_HYPERCALL_RETRY,
+    SITE_IV_REUSE,
+    SITE_MAC_TRUNCATE,
+    SITE_SHADOW_STALE,
+    SITE_SWAPIN_CORRUPT,
+    SITE_TLB_FLUSH_LOST,
+    SITE_WRITEBACK_LOST,
+    FaultArm,
+    FaultPlan,
+)
+from repro.hw.params import MachineParams, PAGE_SIZE
+from repro.machine import Machine, ViolationRecord
+
+OUTCOME_RECOVERED = "RECOVERED"
+OUTCOME_DETECTED = "DETECTED"
+OUTCOME_EXPOSED = "EXPOSED"
+OUTCOME_CORRUPTED = "CORRUPTED"
+
+#: Outcomes that satisfy the containment invariant.
+CONTAINED_OUTCOMES = (OUTCOME_RECOVERED, OUTCOME_DETECTED)
+
+WEB_DOC = "/www/index.bin"
+
+
+def _pressure_params() -> MachineParams:
+    """Short timeslices + eager reclaim: swap traffic on small apps."""
+    return MachineParams(reclaim_interval_cycles=50_000,
+                         reclaim_batch_pages=8,
+                         timeslice_cycles=40_000)
+
+
+def _churn_params() -> MachineParams:
+    """Very aggressive reclaim: hot pages are stolen while dirty, so
+    the same page is re-encrypted many times (IV-reuse opportunities)."""
+    return MachineParams(reclaim_interval_cycles=2_000,
+                         reclaim_batch_pages=16,
+                         timeslice_cycles=5_000)
+
+
+def _seed_data_file(machine: Machine) -> None:
+    inode = machine.kernel.vfs.create_file("/data.bin")
+    payload = (hashlib.sha256(b"oracle-data").digest() * 1024)[: 32 * 1024]
+    machine.kernel.fs.write(inode, 0, payload)
+
+
+def _web_setup(machine: Machine) -> None:
+    vfs = machine.kernel.vfs
+    inode = vfs.create_file(WEB_DOC)
+    payload = (hashlib.sha256(b"document").digest() * 256)[: 8 * 1024]
+    machine.kernel.fs.write(inode, 0, payload)
+    vfs.mkfifo("/srv/req")
+    vfs.mkfifo("/srv/rsp0")
+
+
+def _spawn_webclient(machine: Machine) -> None:
+    machine.spawn("webclient", ("0", "4", WEB_DOC))
+
+
+def _spawn_webserver(machine: Machine) -> None:
+    machine.spawn("webserver", ("4",))
+
+
+class AppSpec:
+    """How the oracle drives one registered program."""
+
+    __slots__ = ("name", "argv", "files", "setup", "peers", "params",
+                 "marker", "max_ops")
+
+    def __init__(self, name: str, argv: Tuple[str, ...] = (),
+                 files: Tuple[str, ...] = (),
+                 setup: Optional[Callable[[Machine], None]] = None,
+                 peers: Optional[Callable[[Machine], None]] = None,
+                 params: Optional[Callable[[], MachineParams]] = None,
+                 marker: Optional[bytes] = None,
+                 max_ops: int = 20_000_000):
+        self.name = name
+        self.argv = argv
+        #: Paths whose final logical contents are part of the
+        #: architectural state compared across runs.
+        self.files = files
+        self.setup = setup
+        self.peers = peers
+        self.params = params
+        #: A plaintext byte string that must never be kernel-visible
+        #: after a cloaked run.
+        self.marker = marker
+        self.max_ops = max_ops
+
+
+def _build_specs() -> Dict[str, AppSpec]:
+    compute = ("matmul", "qsortk", "rle", "shaloop", "bfsgraph", "stencil",
+               "histogram", "strsearch", "crcsweep", "lzwindow", "kmeans",
+               "recordparse")
+    micro = ("mb-empty", "mb-getpid", "mb-read4k", "mb-write4k",
+             "mb-readsec4k", "mb-openclose", "mb-stat", "mb-mmap", "mb-brk",
+             "mb-fault", "mb-signal", "mb-fork", "mb-forkexec", "mb-thread",
+             "mb-pipe", "mb-ctxsw")
+    specs: Dict[str, AppSpec] = {}
+    for name in compute:
+        specs[name] = AppSpec(name)
+    for name in micro:
+        specs[name] = AppSpec(name, ("2",))
+    specs["filestreamer"] = AppSpec(
+        "filestreamer", ("write", "/secure/stream.bin", "4096", "16384"),
+        files=("/secure/stream.bin",))
+    specs["seqwrite"] = AppSpec("seqwrite", files=("/data.bin",))
+    specs["seqread"] = AppSpec("seqread", setup=_seed_data_file)
+    specs["rwmix"] = AppSpec("rwmix", files=("/mix.bin",))
+    specs["forkstress"] = AppSpec("forkstress", ("2", "3000"))
+    specs["compilefarm"] = AppSpec("compilefarm", ("2",))
+    specs["webserver"] = AppSpec("webserver", ("4",), setup=_web_setup,
+                                 peers=_spawn_webclient)
+    specs["webclient"] = AppSpec("webclient", ("0", "4", WEB_DOC),
+                                 setup=_web_setup, peers=_spawn_webserver)
+    specs["secretholder"] = AppSpec("secretholder", ("4",), marker=SECRET)
+    specs["secretwriter"] = AppSpec("secretwriter", ("4",),
+                                    marker=SECRET[:32])
+    specs["memwalk"] = AppSpec("memwalk", ("24", "10", "400"),
+                               params=_pressure_params, marker=b"P0000")
+    specs["chanpump"] = AppSpec("chanpump", ("/secure/pump", "256", "1024"))
+    specs["kvstore"] = AppSpec("kvstore")
+    return specs
+
+
+#: One spec per registered program; checked complete against the
+#: registry at import time so a new app cannot silently skip the oracle.
+ORACLE_SPECS: Dict[str, AppSpec] = _build_specs()
+
+_missing = {cls.name for cls in ALL_PROGRAMS} - set(ORACLE_SPECS)
+if _missing:
+    raise RuntimeError(
+        f"programs registered but missing an oracle spec: {sorted(_missing)}"
+    )
+
+
+class RunRecord:
+    """Architectural state captured from one completed run."""
+
+    __slots__ = ("name", "cloaked", "exit_code", "console", "files",
+                 "violations", "cycles", "fires", "exposed")
+
+    def __init__(self, name, cloaked, exit_code, console, files, violations,
+                 cycles, fires, exposed):
+        self.name = name
+        self.cloaked = cloaked
+        self.exit_code = exit_code
+        self.console = console
+        self.files = files
+        self.violations = violations
+        self.cycles = cycles
+        self.fires = fires
+        self.exposed = exposed
+
+    def state(self) -> Tuple:
+        """The architectural state compared across configurations."""
+        return (self.exit_code, self.console, self.files)
+
+    def identical(self, other: "RunRecord") -> bool:
+        """Full byte-identity, used for same-seed determinism."""
+        return (self.state() == other.state()
+                and self.cycles == other.cycles
+                and self.violations == other.violations
+                and self.fires == other.fires)
+
+    def __repr__(self) -> str:
+        return (f"RunRecord({self.name}, cloaked={self.cloaked}, "
+                f"exit={self.exit_code}, violations={self.violations})")
+
+
+def _lineage_id(identity: bytes) -> int:
+    digest = hashlib.sha256(b"principal" + identity).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def _logical_file_bytes(machine: Machine, path: str, prog_name: str,
+                        cloaked: bool) -> Optional[bytes]:
+    """The file's contents as its owner would read them back.
+
+    For a protected file written by a cloaked program the kernel holds
+    ciphertext; the oracle reconstructs the plaintext exactly as a
+    future process of the same identity would — verify each page
+    against the persistent (version, IV, MAC) record, then decrypt —
+    so transparency can be asserted byte-for-byte against the native
+    run.  Verification failure raises, which the caller records.
+    """
+    vfs = machine.kernel.vfs
+    if not vfs.exists(path):
+        return None
+    inode = vfs.resolve(path)
+    size = inode.size
+    if not (cloaked and path.startswith("/secure")):
+        return machine.kernel.fs.read(inode, 0, size)
+
+    identity = machine.vmm.identity_of(prog_name)
+    if identity is None:
+        return machine.kernel.fs.read(inode, 0, size)
+    lineage = _lineage_id(identity)
+    cipher = machine.vmm.cloak.cipher_for(lineage)
+    out = bytearray()
+    npages = (size + PAGE_SIZE - 1) // PAGE_SIZE
+    for page_index in range(npages):
+        # Full frames, not fs.read: ciphertext occupies whole pages
+        # even when the logical size does not.
+        pfn = machine.kernel.fs.page_frame(inode, page_index)
+        contents = machine.phys.read_frame(pfn)
+        saved = machine.vmm.file_metadata.load(lineage, inode.inode_id,
+                                               page_index)
+        if saved is None:
+            out += contents
+            continue
+        version, iv, mac = saved
+        binding = FILE_BINDING_FLAG | (inode.inode_id << 32) | page_index
+        if not cipher.verify_page(binding, version, iv, mac, contents):
+            raise OvershadowError(
+                f"protected file page failed verification: "
+                f"{path} page {page_index}"
+            )
+        out += cipher.decrypt_page(iv, contents)
+    return bytes(out[:size])
+
+
+def _marker_visible(machine: Machine, marker: bytes) -> bool:
+    """Scan everything the guest kernel (or a disk thief) can see."""
+    for pfn in range(machine.phys.total_frames):
+        if marker in machine.phys.read_frame(pfn):
+            return True
+    # Raw medium scan, below the device model (no fault injection, no
+    # cycle charges): this is the attacker with the platter.
+    for block in machine.disk._blocks:
+        if block is not None and marker in block:
+            return True
+    return False
+
+
+def run_once(spec: AppSpec, cloaked: bool,
+             plan: Optional[FaultPlan] = None) -> RunRecord:
+    """Build a fresh machine, run one spec, capture its state."""
+    params = spec.params() if spec.params is not None else None
+    machine = Machine(params=params, fault_plan=plan)
+    make_secure_dirs(machine)
+    register_all(machine, cloaked=cloaked)
+    if spec.setup is not None:
+        spec.setup(machine)
+    if spec.peers is not None:
+        spec.peers(machine)
+
+    escaped: Optional[OvershadowError] = None
+    try:
+        result = machine.run_program(spec.name, spec.argv,
+                                     max_ops=spec.max_ops)
+        exit_code, console = result.exit_code, result.console
+        cycles = result.cycles_total
+    except OvershadowError as violation:
+        # The fault fired outside any process context (spawn, final
+        # reclaim): still a typed detection, recorded as such.
+        escaped = violation
+        exit_code, console, cycles = -1, b"", machine.cycles.total
+
+    files: List[Tuple[str, Optional[bytes]]] = []
+    for path in spec.files:
+        try:
+            files.append((path, _logical_file_bytes(machine, path,
+                                                    spec.name, cloaked)))
+        except OvershadowError as violation:
+            machine.violations.append(ViolationRecord(-1, violation))
+            files.append((path, None))
+
+    violations = tuple(type(rec.error).__name__ for rec in machine.violations)
+    if escaped is not None:
+        violations += (type(escaped).__name__,)
+    exposed = bool(cloaked and spec.marker
+                   and _marker_visible(machine, spec.marker))
+    return RunRecord(
+        name=spec.name, cloaked=cloaked, exit_code=exit_code,
+        console=console, files=tuple(files), violations=violations,
+        cycles=cycles,
+        fires=plan.total_fires() if plan is not None else 0,
+        exposed=exposed,
+    )
+
+
+# ----------------------------------------------------------------------
+# conformance: native vs cloaked, twice each
+# ----------------------------------------------------------------------
+
+class ConformanceResult:
+    __slots__ = ("name", "transparent", "deterministic", "clean", "detail")
+
+    def __init__(self, name, transparent, deterministic, clean, detail=""):
+        self.name = name
+        #: Native and cloaked agree on architectural state.
+        self.transparent = transparent
+        #: Same-seed re-runs are byte-identical (both configurations).
+        self.deterministic = deterministic
+        #: The cloaked run finished with no violations and no marker
+        #: exposure.
+        self.clean = clean
+        self.detail = detail
+
+    @property
+    def ok(self) -> bool:
+        return self.transparent and self.deterministic and self.clean
+
+
+def _diff_state(a: RunRecord, b: RunRecord) -> str:
+    if a.exit_code != b.exit_code:
+        return f"exit {a.exit_code} != {b.exit_code}"
+    if a.console != b.console:
+        return f"console {a.console!r} != {b.console!r}"
+    if a.files != b.files:
+        return "file contents differ"
+    return ""
+
+
+def check_app(name: str) -> ConformanceResult:
+    """Run one program's full differential check (4 runs)."""
+    spec = ORACLE_SPECS[name]
+    native = run_once(spec, cloaked=False)
+    native2 = run_once(spec, cloaked=False)
+    cloaked = run_once(spec, cloaked=True)
+    cloaked2 = run_once(spec, cloaked=True)
+
+    detail = []
+    transparent = native.state() == cloaked.state()
+    if not transparent:
+        detail.append("native/cloaked: " + _diff_state(native, cloaked))
+    deterministic = native.identical(native2) and cloaked.identical(cloaked2)
+    if not deterministic:
+        detail.append("same-seed re-run diverged")
+    clean = not cloaked.violations and not cloaked.exposed
+    if cloaked.violations:
+        detail.append(f"violations in fault-free run: {cloaked.violations}")
+    if cloaked.exposed:
+        detail.append("marker exposed after cloaked run")
+    return ConformanceResult(name, transparent, deterministic, clean,
+                             "; ".join(detail))
+
+
+def run_conformance(names: Optional[Tuple[str, ...]] = None,
+                    verbose: bool = False) -> List[ConformanceResult]:
+    results = []
+    for name in names or sorted(ORACLE_SPECS):
+        result = check_app(name)
+        results.append(result)
+        if verbose:
+            status = "ok" if result.ok else f"FAIL ({result.detail})"
+            print(f"  conformance {name:<14} {status}")
+    return results
+
+
+# ----------------------------------------------------------------------
+# fault-recovery matrix
+# ----------------------------------------------------------------------
+
+class MatrixRow:
+    __slots__ = ("site", "app", "arm", "opportunities", "fires", "outcome",
+                 "violations", "replay")
+
+    def __init__(self, site, app, arm, opportunities, fires, outcome,
+                 violations, replay):
+        self.site = site
+        self.app = app
+        self.arm = arm
+        self.opportunities = opportunities
+        self.fires = fires
+        self.outcome = outcome
+        self.violations = violations
+        #: Paste-able plan spec reproducing this row.
+        self.replay = replay
+
+
+def classify(clean: RunRecord, faulty: RunRecord) -> str:
+    if faulty.exposed:
+        return OUTCOME_EXPOSED
+    if not faulty.violations and faulty.state() == clean.state():
+        return OUTCOME_RECOVERED
+    if faulty.violations:
+        return OUTCOME_DETECTED
+    return OUTCOME_CORRUPTED
+
+
+def _matrix_scenarios() -> List[Tuple[str, str, FaultArm]]:
+    """(site, app, arm) for every registered injection point.
+
+    memwalk under memory pressure exercises the full page lifecycle
+    (evict, encrypt, write, read, verify, decrypt); chanpump covers the
+    sealed-channel hypercalls; secretwriter under churn re-dirties one
+    page so its version counter must keep advancing.
+    """
+    every = lambda site, app: (site, app, FaultArm(site, every=1))
+    scenarios = [
+        every(SITE_DISK_READ_BITFLIP, "memwalk"),
+        every(SITE_DISK_READ_ERROR, "memwalk"),
+        every(SITE_DISK_WRITE_BITFLIP, "memwalk"),
+        every(SITE_DISK_WRITE_TORN, "memwalk"),
+        every(SITE_DISK_WRITE_LOST, "memwalk"),
+        every(SITE_WRITEBACK_LOST, "memwalk"),
+        every(SITE_SWAPIN_CORRUPT, "memwalk"),
+        every(SITE_TLB_FLUSH_LOST, "memwalk"),
+        every(SITE_SHADOW_STALE, "memwalk"),
+        every(SITE_MAC_TRUNCATE, "memwalk"),
+        (SITE_EVICT_UNDER_USE, "memwalk",
+         FaultArm(SITE_EVICT_UNDER_USE, every=97, limit=5)),
+        every(SITE_HYPERCALL_DUPLICATE, "chanpump"),
+        every(SITE_HYPERCALL_RETRY, "chanpump"),
+        every(SITE_IV_REUSE, "secretwriter"),
+    ]
+    covered = {site for site, __, __ in scenarios}
+    missing = set(INJECTION_POINTS) - covered
+    if missing:
+        raise RuntimeError(f"matrix misses injection points: {sorted(missing)}")
+    return scenarios
+
+
+#: Workload overrides for matrix rows (machine params that create the
+#: fault's opportunity window).
+_MATRIX_SPECS = {
+    "secretwriter": AppSpec("secretwriter", ("40",), params=_churn_params,
+                            marker=SECRET[:32]),
+}
+
+
+def run_fault_matrix(seed: int = 7,
+                     verbose: bool = False) -> List[MatrixRow]:
+    """Run every injection point against a cloaked workload; classify."""
+    rows = []
+    clean_cache: Dict[str, RunRecord] = {}
+    for site, app, arm in _matrix_scenarios():
+        spec = _MATRIX_SPECS.get(app, ORACLE_SPECS.get(app))
+        if app not in clean_cache:
+            clean_cache[app] = run_once(spec, cloaked=True)
+        plan = FaultPlan(seed=seed, arms=(arm,))
+        faulty = run_once(spec, cloaked=True, plan=plan)
+        outcome = classify(clean_cache[app], faulty)
+        row = MatrixRow(
+            site=site, app=app, arm=arm.spec(),
+            opportunities=plan.opportunities(site),
+            fires=plan.fires(site), outcome=outcome,
+            violations=faulty.violations, replay=plan.replay_spec(),
+        )
+        rows.append(row)
+        if verbose:
+            print(f"  {site:<32} {app:<13} fires={row.fires:<4} "
+                  f"{outcome}")
+    return rows
+
+
+def matrix_contained(rows: List[MatrixRow]) -> bool:
+    return all(row.outcome in CONTAINED_OUTCOMES for row in rows)

@@ -70,6 +70,7 @@ class Kernel:
         disk: Disk,
         dma: DMAGateway,
         arch,
+        cache: Optional[BlockCache] = None,
     ):
         self.phys = phys
         self.alloc = alloc
@@ -80,7 +81,9 @@ class Kernel:
         self.costs = costs
         self.arch = arch
 
-        self.cache = BlockCache(disk, dma)
+        # An injected cache (the fault harness passes one) must be
+        # wired in at construction so fs and swap share the instance.
+        self.cache = cache if cache is not None else BlockCache(disk, dma)
         self.fs = RamFS(phys, alloc, self.cache, cycles, costs)
         self.vfs = VFS(self.fs)
         self.scheduler = Scheduler()

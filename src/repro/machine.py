@@ -45,6 +45,7 @@ from repro.hw.mmu import MMU
 from repro.hw.params import MachineParams, default_params
 from repro.hw.phys import FrameAllocator, PhysicalMemory
 from repro.hw.tlb import SoftwareTLB
+from repro.faults.plan import SITE_EVICT_UNDER_USE
 from repro.guestos import uapi
 
 #: Registers left kernel-visible on an intentional syscall.
@@ -109,30 +110,53 @@ class Machine:
     """A complete simulated host: hardware + VMM + guest OS."""
 
     def __init__(self, params: Optional[MachineParams] = None,
-                 vmm_config: Optional[VMMConfig] = None):
+                 vmm_config: Optional[VMMConfig] = None,
+                 fault_plan=None):
         self.params = params or default_params()
         costs = self.params.costs
+        self.faults = fault_plan
+        if fault_plan is not None:
+            # Local import: the zero-fault path must not depend on the
+            # injection harness.
+            from repro.faults import injector as _inj
         self.cycles = CycleAccount()
         self.stats = StatCounters()
         self.phys = PhysicalMemory(self.params.total_frames)
         self.alloc = FrameAllocator(self.params.total_frames)
-        self.tlb = SoftwareTLB(self.params.tlb_entries)
+        if fault_plan is not None:
+            self.tlb = _inj.FaultyTLB(self.params.tlb_entries, fault_plan)
+        else:
+            self.tlb = SoftwareTLB(self.params.tlb_entries)
         self.mmu = MMU(self.phys, self.tlb, self.cycles, costs)
         self.cpu = VirtualCPU(self.mmu, self.cycles, costs)
         self.vmm = VMM(self.phys, self.mmu, self.cpu, self.cycles, self.stats,
                        costs, config=vmm_config)
-        self.disk = Disk(self.params.disk_blocks, self.params.block_size,
-                         self.cycles, costs)
+        if fault_plan is not None:
+            self.disk = _inj.FaultyDisk(self.params.disk_blocks,
+                                        self.params.block_size,
+                                        self.cycles, costs, plan=fault_plan)
+        else:
+            self.disk = Disk(self.params.disk_blocks, self.params.block_size,
+                             self.cycles, costs)
         self.dma = _VMMDma(self.vmm)
+        cache = None
+        if fault_plan is not None:
+            cache = _inj.FaultyBlockCache(self.disk, self.dma, fault_plan)
         self.kernel = Kernel(self.phys, self.alloc, self.mmu, self.cpu,
                              self.cycles, self.stats, costs, self.disk,
-                             self.dma, arch=self.vmm)
+                             self.dma, arch=self.vmm, cache=cache)
+        if fault_plan is not None:
+            self.vmm.faults = _inj.VMMFaultHooks(fault_plan)
+            self.vmm.cloak.faults = _inj.CloakFaultHooks(fault_plan)
+            self.kernel.reclaimer.swap = _inj.FaultySwap(
+                self.kernel.reclaimer.swap, fault_plan, self.phys)
         self.violations: List[ViolationRecord] = []
 
     @classmethod
     def build(cls, params: Optional[MachineParams] = None,
-              vmm_config: Optional[VMMConfig] = None) -> "Machine":
-        return cls(params, vmm_config)
+              vmm_config: Optional[VMMConfig] = None,
+              fault_plan=None) -> "Machine":
+        return cls(params, vmm_config, fault_plan)
 
     # ------------------------------------------------------------------
     # program registration / spawning
@@ -179,7 +203,17 @@ class Machine:
                 return executed
             if next_reclaim is not None and self.cycles.total >= next_reclaim:
                 # Periodic memory pressure: the kernel steals pages.
-                self.kernel.reclaimer.reclaim(self.params.reclaim_batch_pages)
+                try:
+                    self.kernel.reclaimer.reclaim(
+                        self.params.reclaim_batch_pages)
+                except OvershadowError as violation:
+                    # Fault injection can make an eviction's encrypt
+                    # step refuse (e.g. a stuck version counter).  The
+                    # engine raises before mutating any state, so
+                    # abandoning the batch is safe; record the
+                    # detection against the system (pid -1).
+                    self.violations.append(ViolationRecord(-1, violation))
+                    self.stats.bump("machine.violations")
                 next_reclaim = self._next_reclaim_deadline()
             self.kernel.wake_due_sleepers()
             proc = self.kernel.scheduler.pick()
@@ -340,6 +374,12 @@ class Machine:
     def _user_memory(self, proc: Process, op: UserOp, kind: str) -> Any:
         """Perform a user memory op, reflecting page faults to the
         kernel and retrying (restartable instruction semantics)."""
+        if self.faults is not None and self.faults.decide(SITE_EVICT_UNDER_USE):
+            # Evict-under-use injection: the kernel steals pages right
+            # under the running application's feet.  Legitimate (if
+            # hostile-looking) behaviour the cloaking protocol must
+            # absorb transparently.
+            self.kernel.reclaimer.reclaim(self.params.reclaim_batch_pages)
         while True:
             try:
                 if kind == "load":

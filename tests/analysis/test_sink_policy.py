@@ -1,0 +1,160 @@
+"""The per-package sink policy behind SEC002/SEC003.
+
+The TCB (``repro.core``/``repro.hw``) is held to every sink kind.
+``repro.guestos`` and ``repro.attacks`` legitimately hold
+secret-derived buffers (a debugger attack keeps what it captured, the
+swap path moves ciphertext) but must not *re-expose* them: log and
+persist sinks are enforced there, while raise/frame/hypercall-return
+sinks — internal mechanism outside the TCB — are not.  Packages with
+no policy entry are out of scope entirely.
+"""
+
+from repro.analysis.flow.taint import (ALL_KINDS, KIND_LOG, KIND_PERSIST,
+                                       SINK_POLICY, sink_kinds_for)
+from repro.analysis.rules.secret_flow import SecretFlowRule, UnsealedPersistRule
+
+LEAKY_PRINT = """\
+    def handler(cipher, frame):
+        data = cipher.decrypt_page(0, frame)
+        print(data)
+    """
+
+
+def run_flow(tree):
+    return tree.run([SecretFlowRule(), UnsealedPersistRule()])
+
+
+def rules_fired(report):
+    return sorted({f.rule for f in report.findings})
+
+
+# ----------------------------------------------------------------------
+# the policy table itself
+# ----------------------------------------------------------------------
+
+def test_policy_table_shape():
+    assert sink_kinds_for("repro.core.cloak") == ALL_KINDS
+    assert sink_kinds_for("repro.hw.phys") == ALL_KINDS
+    assert sink_kinds_for("repro.guestos.swap") == {KIND_LOG, KIND_PERSIST}
+    assert sink_kinds_for("repro.attacks.debugger") == {KIND_LOG,
+                                                        KIND_PERSIST}
+    # Exact package names match too, and unknown packages do not.
+    assert sink_kinds_for("repro.attacks") == {KIND_LOG, KIND_PERSIST}
+    assert sink_kinds_for("repro.apps.microbench") == frozenset()
+    assert sink_kinds_for("repro.corely") == frozenset()
+
+
+def test_every_policy_entry_is_a_known_kind_set():
+    for prefix, kinds in SINK_POLICY.items():
+        assert prefix.startswith("repro."), prefix
+        assert kinds, f"{prefix}: empty policy entry is dead weight"
+        assert kinds <= ALL_KINDS, f"{prefix}: unknown sink kind"
+
+
+# ----------------------------------------------------------------------
+# enforcement in guest/attack packages: re-exposure sinks fire
+# ----------------------------------------------------------------------
+
+def test_attack_printing_captured_plaintext_is_flagged(tree):
+    tree.write("repro/attacks/dump.py", LEAKY_PRINT)
+    report = run_flow(tree)
+    assert rules_fired(report) == ["SEC002"]
+
+
+def test_guestos_persisting_unsealed_plaintext_is_flagged(tree):
+    tree.write("repro/guestos/spool.py", """\
+        def spill(cipher, disk, frame):
+            data = cipher.decrypt_page(0, frame)
+            disk.write_block(0, data)
+        """)
+    report = run_flow(tree)
+    assert rules_fired(report) == ["SEC003"]
+
+
+def test_guestos_reexposure_through_a_helper_is_flagged(tree):
+    tree.write("repro/guestos/tool.py", """\
+        def show(value):
+            print(value)
+
+        def handler(cipher, frame):
+            show(cipher.decrypt_page(0, frame))
+        """)
+    report = run_flow(tree)
+    assert rules_fired(report) == ["SEC002"]
+    assert report.findings[0].context == "handler"
+
+
+# ----------------------------------------------------------------------
+# ...but TCB-only sink kinds stay internal mechanism there
+# ----------------------------------------------------------------------
+
+def test_guestos_raise_with_secret_message_is_not_flagged(tree):
+    tree.write("repro/guestos/errs.py", """\
+        def check(cipher, frame):
+            data = cipher.decrypt_page(0, frame)
+            raise ValueError(f"bad page: {data!r}")
+        """)
+    report = run_flow(tree)
+    assert report.findings == []
+
+
+def test_attack_frame_write_is_not_flagged(tree):
+    tree.write("repro/attacks/probe.py", """\
+        def implant(cipher, phys, frame):
+            data = cipher.decrypt_page(0, frame)
+            phys.write_frame(3, data)
+        """)
+    report = run_flow(tree)
+    assert report.findings == []
+
+
+def test_same_raise_in_core_is_flagged(tree):
+    """The control for the two tests above: under the full policy the
+    identical flow does fire."""
+    tree.write("repro/core/errs.py", """\
+        def check(cipher, frame):
+            data = cipher.decrypt_page(0, frame)
+            raise ValueError(f"bad page: {data!r}")
+        """)
+    report = run_flow(tree)
+    assert rules_fired(report) == ["SEC002"]
+
+
+# ----------------------------------------------------------------------
+# cross-package flows anchor at the caller's policy
+# ----------------------------------------------------------------------
+
+def test_attack_passing_secret_to_core_logger_is_flagged_at_call_site(tree):
+    tree.write("repro/core/helpers.py", """\
+        def reveal(value):
+            print(value)
+        """)
+    tree.write("repro/attacks/use.py", """\
+        from repro.core.helpers import reveal
+
+        def handler(cipher, frame):
+            reveal(cipher.decrypt_page(0, frame))
+        """)
+    report = run_flow(tree)
+    assert rules_fired(report) == ["SEC002"]
+    assert any(f.path.endswith("use.py") for f in report.findings)
+
+
+def test_guestos_helper_keeps_core_caller_accountable(tree):
+    """A guestos helper that raises with its argument: the raise is not
+    flagged *in guestos*, but function summaries are policy-blind, so
+    the core caller that handed over the secret is — the finding
+    anchors at the call site, under the caller's (full) policy."""
+    tree.write("repro/guestos/errs.py", """\
+        def explode(value):
+            raise ValueError(value)
+        """)
+    tree.write("repro/core/user.py", """\
+        from repro.guestos.errs import explode
+
+        def handler(cipher, frame):
+            explode(cipher.decrypt_page(0, frame))
+        """)
+    report = run_flow(tree)
+    assert rules_fired(report) == ["SEC002"]
+    assert any(f.path.endswith("user.py") for f in report.findings)

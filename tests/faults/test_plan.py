@@ -1,0 +1,104 @@
+"""Unit tests for the deterministic fault-plan engine."""
+
+import pytest
+
+from repro.faults.plan import (
+    CONTAIN_DETECT,
+    CONTAIN_RECOVER,
+    INJECTION_POINTS,
+    SITE_DISK_READ_BITFLIP,
+    SITE_SWAPIN_CORRUPT,
+    SITE_TLB_FLUSH_LOST,
+    FaultArm,
+    FaultPlan,
+)
+
+
+class TestFaultArm:
+    def test_exactly_one_mode_required(self):
+        with pytest.raises(ValueError):
+            FaultArm(SITE_SWAPIN_CORRUPT)
+        with pytest.raises(ValueError):
+            FaultArm(SITE_SWAPIN_CORRUPT, nth=0, every=2)
+        with pytest.raises(ValueError):
+            FaultArm(SITE_SWAPIN_CORRUPT, every=1, probability=0.5)
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            FaultArm("hw.disk.made_up_site", nth=0)
+
+    def test_spec_is_readable(self):
+        arm = FaultArm(SITE_SWAPIN_CORRUPT, every=3, limit=2)
+        assert SITE_SWAPIN_CORRUPT in arm.spec()
+        assert "every=3" in arm.spec() and "limit=2" in arm.spec()
+
+
+class TestDecide:
+    def test_unarmed_site_counts_nothing(self):
+        plan = FaultPlan(seed=1, arms=(FaultArm(SITE_SWAPIN_CORRUPT, nth=0),))
+        assert not plan.decide(SITE_DISK_READ_BITFLIP)
+        assert plan.opportunities(SITE_DISK_READ_BITFLIP) == 0
+
+    def test_nth_fires_exactly_once(self):
+        plan = FaultPlan.once(SITE_SWAPIN_CORRUPT, seed=3, nth=2)
+        fired = [plan.decide(SITE_SWAPIN_CORRUPT) for __ in range(6)]
+        assert fired == [False, False, True, False, False, False]
+        assert plan.opportunities(SITE_SWAPIN_CORRUPT) == 6
+        assert plan.fires(SITE_SWAPIN_CORRUPT) == 1
+
+    def test_every_with_limit(self):
+        plan = FaultPlan(seed=0, arms=(
+            FaultArm(SITE_TLB_FLUSH_LOST, every=2, limit=2),))
+        fired = [plan.decide(SITE_TLB_FLUSH_LOST) for __ in range(8)]
+        assert fired == [False, True, False, True, False, False, False, False]
+        assert plan.total_fires() == 2
+
+    def test_probability_deterministic_per_seed(self):
+        def outcomes(seed):
+            plan = FaultPlan(seed=seed, arms=(
+                FaultArm(SITE_SWAPIN_CORRUPT, probability=0.5),))
+            return [plan.decide(SITE_SWAPIN_CORRUPT) for __ in range(64)]
+
+        assert outcomes(11) == outcomes(11)
+        assert outcomes(11) != outcomes(12)
+        assert any(outcomes(11)) and not all(outcomes(11))
+
+    def test_decisions_are_logged(self):
+        plan = FaultPlan(seed=0, arms=(FaultArm(SITE_SWAPIN_CORRUPT, every=2),))
+        for __ in range(4):
+            plan.decide(SITE_SWAPIN_CORRUPT)
+        log = plan.log
+        assert [d.opportunity for d in log] == [1, 3]
+        assert [d.fire_index for d in log] == [0, 1]
+        assert all(d.site == SITE_SWAPIN_CORRUPT for d in log)
+
+    def test_site_substreams_independent(self):
+        """Arming a second site must not perturb the first's stream."""
+        solo = FaultPlan(seed=5, arms=(
+            FaultArm(SITE_SWAPIN_CORRUPT, probability=0.3),))
+        both = FaultPlan(seed=5, arms=(
+            FaultArm(SITE_SWAPIN_CORRUPT, probability=0.3),
+            FaultArm(SITE_DISK_READ_BITFLIP, probability=0.3),
+        ))
+        for __ in range(32):
+            both.decide(SITE_DISK_READ_BITFLIP)
+        assert ([solo.decide(SITE_SWAPIN_CORRUPT) for __ in range(32)]
+                == [both.decide(SITE_SWAPIN_CORRUPT) for __ in range(32)])
+
+
+class TestRegistry:
+    def test_every_point_has_layer_and_containment(self):
+        for site, point in INJECTION_POINTS.items():
+            assert point.site == site
+            assert point.containment in (CONTAIN_RECOVER, CONTAIN_DETECT)
+            assert site.startswith(("hw.", "core.", "guestos."))
+            assert point.description
+
+    def test_replay_spec_mentions_seed_and_arms(self):
+        plan = FaultPlan(seed=42, arms=(
+            FaultArm(SITE_SWAPIN_CORRUPT, nth=1),
+            FaultArm(SITE_TLB_FLUSH_LOST, every=3),
+        ))
+        spec = plan.replay_spec()
+        assert "seed=42" in spec
+        assert SITE_SWAPIN_CORRUPT in spec and SITE_TLB_FLUSH_LOST in spec
