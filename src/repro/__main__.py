@@ -6,6 +6,7 @@ Usage::
     python -m repro r-f1 r-t2     # run selected experiments
     python -m repro --list        # show available experiments
     python -m repro faults        # differential conformance + fault matrix
+    python -m repro wallclock     # host-speed harness -> BENCH_wallclock.json
 """
 
 import sys
@@ -115,6 +116,11 @@ def main(argv=None) -> int:
 
     if args and args[0].lower() == "faults":
         return _faults_main([a.lower() for a in args[1:]])
+
+    if args and args[0].lower() == "wallclock":
+        from repro.bench import wallclock
+
+        return wallclock.main(args[1:])
 
     experiments = _experiments()
 

@@ -227,6 +227,11 @@ class UserContext:
         yield from self.write_bytes(uapi.STDOUT_FD, text.encode())
 
 
+#: Memoised synthetic program images, keyed by (identity seed, size).
+#: Bounded in practice by the number of registered Program classes.
+_IMAGE_CACHE: Dict[Tuple[str, int], bytes] = {}
+
+
 class Program:
     """Base class for guest applications.
 
@@ -252,17 +257,24 @@ class Program:
 
         Real Overshadow hashes the application binary; we expand the
         program's name and class source position into a stable
-        pseudo-binary of ``image_size`` bytes.
+        pseudo-binary of ``image_size`` bytes.  The expansion is a pure
+        function of (class, name, size), so it is memoised — every
+        fresh machine re-registers the same suite of programs.
         """
         import hashlib
 
         seed = f"{type(self).__module__}.{type(self).__qualname__}:{self.name}"
+        cached = _IMAGE_CACHE.get((seed, image_size))
+        if cached is not None:
+            return cached
         out = bytearray()
         counter = 0
         while len(out) < image_size:
             out.extend(hashlib.sha256(f"{seed}:{counter}".encode()).digest())
             counter += 1
-        return bytes(out[:image_size])
+        image = bytes(out[:image_size])
+        _IMAGE_CACHE[(seed, image_size)] = image
+        return image
 
 
 class _Frame:

@@ -196,7 +196,9 @@ class CloakEngine:
 
     def _encrypt(self, md: PageMetadata, gpfn: int) -> None:
         cipher = self.cipher_for(md.lineage_id)
-        plaintext = self._phys.read_frame(gpfn)
+        # Zero-copy: MAC/XOR straight out of the frame.  The view is
+        # fully consumed before write_frame replaces the frame's bytes.
+        plaintext = self._phys.frame_view(gpfn)
         version = md.version + 1
         if self.faults is not None:
             version = self.faults.encrypt_version(md, version)
@@ -223,7 +225,11 @@ class CloakEngine:
             # ciphertext is untouched, so privacy is intact; the next
             # verification of this page must fail closed.
             mac = self.faults.mangle_mac(mac)
-        self._phys.write_frame(gpfn, ciphertext)
+        if ciphertext is not plaintext:
+            # Integrity-only mode returns the plaintext view itself;
+            # rewriting a frame with its own aliasing view is both
+            # pointless and unsafe, so only real ciphertext is stored.
+            self._phys.write_frame(gpfn, ciphertext)
         md.record_encryption(version, iv, mac)
         md.cached_ciphertext = None
         self._cycles.charge("crypto", self._costs.page_hash)

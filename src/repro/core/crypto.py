@@ -19,6 +19,7 @@ substitution does not distort any performance result.
 import hashlib
 import hmac
 import struct
+from collections import OrderedDict
 from typing import Optional, Tuple
 
 #: Size of one keystream block (SHA-256 output).
@@ -31,6 +32,38 @@ IV_LEN = 24
 
 MASK64 = 0xFFFFFFFFFFFFFFFF
 
+#: Bound on each host-side key-material memo below.  Key derivation is
+#: pure, so memoisation can never change an output — only how often
+#: the same HMAC is recomputed when fork/exec and oracle runs rebuild
+#: the same principals over and over.
+_MEMO_CAPACITY = 512
+
+
+class _Memo:
+    """Tiny bounded LRU for derived key material (host-speed only)."""
+
+    def __init__(self, capacity: int = _MEMO_CAPACITY):
+        self._capacity = capacity
+        self._entries: "OrderedDict" = OrderedDict()
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key, value):
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self._capacity:
+            self._entries.popitem(last=False)
+        self._entries[key] = value
+        return value
+
+
+_derive_memo = _Memo()
+_principal_memo = _Memo()
+
 
 def derive_key(master: bytes, purpose: str, qualifier: int = 0) -> bytes:
     """Derive a sub-key from ``master`` for a named purpose.
@@ -38,8 +71,13 @@ def derive_key(master: bytes, purpose: str, qualifier: int = 0) -> bytes:
     The VMM holds one master secret per machine; per-domain page keys
     and MAC keys are derived, never stored.
     """
+    memo_key = (master, purpose, qualifier)
+    cached = _derive_memo.get(memo_key)
+    if cached is not None:
+        return cached
     info = purpose.encode() + struct.pack("<Q", qualifier)
-    return hmac.new(master, b"derive" + info, hashlib.sha256).digest()
+    derived = hmac.new(master, b"derive" + info, hashlib.sha256).digest()
+    return _derive_memo.put(memo_key, derived)
 
 
 def make_iv(lineage_id: int, vpn: int, version: int) -> bytes:
@@ -54,21 +92,46 @@ def make_iv(lineage_id: int, vpn: int, version: int) -> bytes:
 
 
 def keystream(key: bytes, iv: bytes, length: int) -> bytes:
-    """PRF counter-mode keystream of ``length`` bytes."""
+    """PRF counter-mode keystream of ``length`` bytes.
+
+    Each 32-byte block is ``SHA-256(key || iv || counter)``.  The
+    ``key || iv`` prefix is hashed once and the per-block state forked
+    with ``copy()`` — streaming SHA-256 makes that byte-identical to
+    rehashing the prefix for every counter, at a fraction of the cost
+    for page-sized (128-block) requests.
+    """
     if length < 0:
         raise ValueError("negative keystream length")
-    blocks = []
-    for counter in range((length + _BLOCK - 1) // _BLOCK):
-        blocks.append(
-            hashlib.sha256(key + iv + struct.pack("<Q", counter)).digest()
-        )
-    return b"".join(blocks)[:length]
+    if length == 0:
+        return b""
+    nblocks = (length + _BLOCK - 1) // _BLOCK
+    prefix = hashlib.sha256(key + iv)
+    out = bytearray(nblocks * _BLOCK)
+    pos = 0
+    for counter in range(nblocks):
+        block = prefix.copy()
+        block.update(counter.to_bytes(8, "little"))
+        out[pos:pos + _BLOCK] = block.digest()
+        pos += _BLOCK
+    if length != len(out):
+        del out[length:]
+    return bytes(out)
 
 
 def xor_bytes(data: bytes, pad: bytes) -> bytes:
-    if len(data) != len(pad):
+    """Whole-buffer XOR via arbitrary-precision integers.
+
+    ``int.from_bytes`` / ``^`` / ``to_bytes`` runs word-at-a-time in C,
+    replacing the byte-at-a-time generator this function started as
+    (see tests/core/test_crypto_vectors.py for the pinned reference).
+    Accepts any bytes-like operands (memoryviews included).
+    """
+    size = len(data)
+    if size != len(pad):
         raise ValueError("xor operands differ in length")
-    return bytes(a ^ b for a, b in zip(data, pad))
+    return (
+        int.from_bytes(data, "little") ^ int.from_bytes(pad, "little")
+    ).to_bytes(size, "little")
 
 
 def encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
@@ -95,7 +158,12 @@ def page_mac(
     versions.
     """
     header = struct.pack("<QQQ", lineage_id & MASK64, vpn & MASK64, version)
-    return hmac.new(mac_key, header + iv + ciphertext, hashlib.sha256).digest()
+    # Streamed rather than concatenated: digests are bit-identical, but
+    # page-sized ciphertexts (and zero-copy memoryviews of frames) are
+    # consumed without building a header+iv+ciphertext temporary.
+    mac = hmac.new(mac_key, header + iv, hashlib.sha256)
+    mac.update(ciphertext)
+    return mac.digest()
 
 
 def macs_equal(a: bytes, b: bytes) -> bool:
@@ -127,12 +195,21 @@ class PageCipher:
 
     def __init__(self, master: bytes, identity: bytes):
         self.identity = identity
-        digest = hashlib.sha256(b"principal" + identity).digest()
-        self.lineage_id = int.from_bytes(digest[:8], "little")
-        self._enc_key = hmac.new(master, b"page-enc" + identity,
-                                 hashlib.sha256).digest()
-        self._mac_key = hmac.new(master, b"page-mac" + identity,
-                                 hashlib.sha256).digest()
+        # Key material is a pure function of (master, identity); the
+        # bounded memo stops fork/exec storms and oracle sweeps from
+        # re-deriving the same principal's keys on every construction.
+        memo_key = (master, identity)
+        cached = _principal_memo.get(memo_key)
+        if cached is None:
+            digest = hashlib.sha256(b"principal" + identity).digest()
+            cached = _principal_memo.put(memo_key, (
+                int.from_bytes(digest[:8], "little"),
+                hmac.new(master, b"page-enc" + identity,
+                         hashlib.sha256).digest(),
+                hmac.new(master, b"page-mac" + identity,
+                         hashlib.sha256).digest(),
+            ))
+        self.lineage_id, self._enc_key, self._mac_key = cached
 
     def shares_keys_with(self, other: "PageCipher") -> bool:
         return self._enc_key == other._enc_key and self._mac_key == other._mac_key

@@ -45,6 +45,11 @@ class Disk:
             self._cycles.charge("disk", self._costs.disk_block)
 
     def read_block(self, lba: int) -> bytes:
+        """Return one block's contents.
+
+        The stored ``bytes`` object is returned as-is (immutable, so no
+        defensive copy); never-written blocks read as zeros.
+        """
         if not 0 <= lba < len(self._blocks):
             raise IndexError(f"bad block {lba}")
         self.reads += 1
@@ -55,6 +60,13 @@ class Disk:
         return data
 
     def write_block(self, lba: int, data: bytes) -> None:
+        """Persist one block.
+
+        Accepts any bytes-like object (DMA paths may hand in
+        memoryviews of live frames); exactly one snapshot is taken
+        here — and none at all when ``data`` is already ``bytes``,
+        since ``bytes(data)`` is then the same object.
+        """
         if not 0 <= lba < len(self._blocks):
             raise IndexError(f"bad block {lba}")
         if len(data) != self._block_size:

@@ -100,6 +100,12 @@ class MMU:
         if self._authority is None:
             raise RuntimeError("MMU has no translation authority attached")
         entry = self._tlb.lookup(self._asid, self._view, vpn)
+        if entry is not None and access is not AccessKind.WRITE:
+            # Read/fetch hit: the case that dominates every workload.
+            # One TLB probe, no fill decision, straight to the
+            # permission check.
+            self._check_permissions(entry, vaddr, access)
+            return entry
         needs_fill = entry is None or (access.is_write and not entry.dirty)
         if needs_fill:
             if entry is not None:
@@ -124,6 +130,20 @@ class MMU:
         """Read ``size`` bytes at ``vaddr`` (may span pages)."""
         if size < 0:
             raise ValueError("negative read size")
+        if size == 0:
+            # Zero-length access: no translation, but the access itself
+            # still costs one memory operation (same as before the
+            # fast-path split; see _charge_transfer).
+            self._charge_transfer(0)
+            return b""
+        offset = vaddr & (PAGE_SIZE - 1)
+        if offset + size <= PAGE_SIZE:
+            # Single-page fast path: one translation, one physical
+            # read, no chunk list or join.
+            entry = self._translate_page(vaddr >> PAGE_SHIFT, vaddr, AccessKind.READ)
+            data = self._phys.read(entry.pfn, offset, size)
+            self._charge_transfer(size)
+            return data
         chunks: List[bytes] = []
         for page_vaddr, offset, length in self._split(vaddr, size):
             entry = self._translate_page(page_vaddr >> PAGE_SHIFT, page_vaddr, AccessKind.READ)
@@ -133,15 +153,37 @@ class MMU:
 
     def write(self, vaddr: int, data: bytes) -> None:
         """Write ``data`` at ``vaddr`` (may span pages)."""
+        size = len(data)
+        if size == 0:
+            self._charge_transfer(0)
+            return
+        offset = vaddr & (PAGE_SIZE - 1)
+        if offset + size <= PAGE_SIZE:
+            entry = self._translate_page(vaddr >> PAGE_SHIFT, vaddr, AccessKind.WRITE)
+            self._phys.write(entry.pfn, offset, data)
+            self._charge_transfer(size)
+            return
         pos = 0
-        for page_vaddr, offset, length in self._split(vaddr, len(data)):
+        for page_vaddr, offset, length in self._split(vaddr, size):
             entry = self._translate_page(page_vaddr >> PAGE_SHIFT, page_vaddr, AccessKind.WRITE)
             self._phys.write(entry.pfn, offset, data[pos : pos + length])
             pos += length
-        self._charge_transfer(len(data))
+        self._charge_transfer(size)
 
     def fetch(self, vaddr: int, size: int) -> bytes:
         """Instruction fetch: like read, but checked as EXECUTE."""
+        if size < 0:
+            raise ValueError("negative fetch size")
+        if size == 0:
+            self._charge_transfer(0)
+            return b""
+        offset = vaddr & (PAGE_SIZE - 1)
+        if offset + size <= PAGE_SIZE:
+            entry = self._translate_page(vaddr >> PAGE_SHIFT, vaddr,
+                                         AccessKind.EXECUTE)
+            data = self._phys.read(entry.pfn, offset, size)
+            self._charge_transfer(size)
+            return data
         chunks: List[bytes] = []
         for page_vaddr, offset, length in self._split(vaddr, size):
             entry = self._translate_page(
@@ -161,11 +203,11 @@ class MMU:
     @staticmethod
     def _split(vaddr: int, size: int):
         """Break (vaddr, size) into per-page (page_vaddr, offset, length)."""
+        if size <= 0:
+            return
         remaining = size
         cursor = vaddr
-        while remaining > 0 or (size == 0 and cursor == vaddr):
-            if size == 0:
-                break
+        while remaining > 0:
             offset = cursor & (PAGE_SIZE - 1)
             length = min(PAGE_SIZE - offset, remaining)
             yield cursor, offset, length

@@ -16,14 +16,25 @@ class OutOfMemoryError(Exception):
 
 
 class PhysicalMemory:
-    """Byte-addressable guest-physical memory, organised as frames."""
+    """Byte-addressable guest-physical memory, organised as frames.
+
+    Alongside the copying ``read``/``read_frame`` accessors there is a
+    zero-copy path: ``frame_view`` hands out a cached *read-only*
+    memoryview of a frame, so page-sized consumers (the cloak engine's
+    encrypt input, page-table scans) can hash/XOR/unpack in place
+    without first materialising a 4 KiB ``bytes`` copy.  The views stay
+    valid for the machine's lifetime — frames are mutated only in
+    place, never resized.
+    """
 
     def __init__(self, total_frames: int):
         if total_frames <= 0:
             raise ValueError("need at least one frame")
-        self._frames: List[bytearray] = [
-            bytearray(PAGE_SIZE) for _ in range(total_frames)
-        ]
+        # Frames materialise lazily on first touch: a fresh machine
+        # costs O(1) host work regardless of configured memory size,
+        # and a never-written frame reads as zeros either way.
+        self._frames: List[Optional[bytearray]] = [None] * total_frames
+        self._views: List[Optional[memoryview]] = [None] * total_frames
 
     @property
     def total_frames(self) -> int:
@@ -33,6 +44,13 @@ class PhysicalMemory:
         if not 0 <= pfn < len(self._frames):
             raise IndexError(f"bad pfn {pfn}")
 
+    def _materialize(self, pfn: int) -> bytearray:
+        frame = self._frames[pfn]
+        if frame is None:
+            frame = self._frames[pfn] = bytearray(PAGE_SIZE)
+            self._views[pfn] = memoryview(frame).toreadonly()
+        return frame
+
     def frame(self, pfn: int) -> bytearray:
         """Direct (mutable) access to a frame's backing store.
 
@@ -40,22 +58,44 @@ class PhysicalMemory:
         guest software goes through the MMU.
         """
         self._check(pfn)
-        return self._frames[pfn]
+        return self._materialize(pfn)
+
+    def frame_view(self, pfn: int) -> memoryview:
+        """Read-only zero-copy view of one whole frame.
+
+        The view aliases live memory: callers that need a stable
+        snapshot (anything stored or compared later) must copy; callers
+        that consume the bytes immediately (hashing, XOR, struct
+        unpacking) should prefer this over :meth:`read_frame`.
+        """
+        self._check(pfn)
+        view = self._views[pfn]
+        if view is None:
+            self._materialize(pfn)
+            view = self._views[pfn]
+        return view
 
     def read(self, pfn: int, offset: int, size: int) -> bytes:
         self._check(pfn)
         if offset < 0 or size < 0 or offset + size > PAGE_SIZE:
             raise ValueError(f"bad intra-frame range {offset}+{size}")
-        return bytes(self._frames[pfn][offset : offset + size])
+        view = self._views[pfn]
+        if view is None:
+            return bytes(size)
+        return bytes(view[offset : offset + size])
 
     def write(self, pfn: int, offset: int, data: bytes) -> None:
         self._check(pfn)
         if offset < 0 or offset + len(data) > PAGE_SIZE:
             raise ValueError(f"bad intra-frame range {offset}+{len(data)}")
-        self._frames[pfn][offset : offset + len(data)] = data
+        self._materialize(pfn)[offset : offset + len(data)] = data
 
     def read_frame(self, pfn: int) -> bytes:
-        return self.read(pfn, 0, PAGE_SIZE)
+        self._check(pfn)
+        frame = self._frames[pfn]
+        if frame is None:
+            return bytes(PAGE_SIZE)
+        return bytes(frame)
 
     def write_frame(self, pfn: int, data: bytes) -> None:
         if len(data) != PAGE_SIZE:
@@ -64,7 +104,9 @@ class PhysicalMemory:
 
     def zero_frame(self, pfn: int) -> None:
         self._check(pfn)
-        self._frames[pfn][:] = bytes(PAGE_SIZE)
+        frame = self._frames[pfn]
+        if frame is not None:
+            frame[:] = bytes(PAGE_SIZE)
 
 
 class FrameAllocator:
@@ -100,9 +142,23 @@ class FrameAllocator:
         return pfn
 
     def alloc_many(self, count: int) -> List[int]:
+        """Allocate ``count`` frames in one free-list slice.
+
+        Returns the same frames in the same order as ``count``
+        successive :meth:`alloc` calls, without N list pops and N set
+        inserts.
+        """
+        if count < 0:
+            raise ValueError("negative allocation count")
         if count > len(self._free):
             raise OutOfMemoryError(f"need {count} frames, have {len(self._free)}")
-        return [self.alloc() for _ in range(count)]
+        if count == 0:
+            return []
+        pfns = self._free[-count:]
+        pfns.reverse()
+        del self._free[-count:]
+        self._allocated.update(pfns)
+        return pfns
 
     def free(self, pfn: int) -> None:
         if pfn not in self._allocated:

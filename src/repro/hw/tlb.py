@@ -59,12 +59,21 @@ class SoftwareTLB:
         return self._capacity
 
     def lookup(self, asid: int, view: int, vpn: int) -> Optional[TLBEntry]:
+        """Direct-dict hit path: one probe, one LRU touch, no scan.
+
+        This sits on the MMU's per-access fast path, so it must stay
+        allocation-free beyond the key tuple.  The LRU touch
+        (``move_to_end``) is unconditional — recency accumulated while
+        the TLB is still filling decides later evictions, and eviction
+        order feeds straight into miss counts and virtual cycles.
+        """
+        entries = self._entries
         key = (asid, view, vpn)
-        entry = self._entries.get(key)
+        entry = entries.get(key)
         if entry is None:
             self.misses += 1
             return None
-        self._entries.move_to_end(key)
+        entries.move_to_end(key)
         self.hits += 1
         return entry
 

@@ -150,6 +150,60 @@ class TestCycleCharging:
         assert big > small
 
 
+class TestZeroLengthAccess:
+    """Zero-length accesses never translate (so they cannot fault) but
+    still cost one memory operation, like any other access."""
+
+    def test_zero_read_skips_translation(self, machine):
+        __, mmu, authority, cycles = machine
+        # 0x99 is unmapped: a translated access would page-fault.
+        assert mmu.read(0x99 << 12, 0) == b""
+        assert authority.fills == 0
+        assert cycles.get("mem") == CostTable().mem_access
+
+    def test_zero_write_skips_translation(self, machine):
+        __, mmu, authority, cycles = machine
+        mmu.write(0x99 << 12, b"")
+        assert authority.fills == 0
+        assert cycles.get("mem") == CostTable().mem_access
+
+    def test_zero_fetch_skips_translation(self, machine):
+        __, mmu, authority, __ = machine
+        assert mmu.fetch(0x99 << 12, 0) == b""
+        assert authority.fills == 0
+
+    def test_negative_read_rejected(self, machine):
+        __, mmu, __, __ = machine
+        with pytest.raises(ValueError):
+            mmu.read(0x10 << 12, -1)
+
+    def test_split_yields_nothing_for_zero(self):
+        assert list(MMU._split(0x1234, 0)) == []
+
+
+class TestSinglePageFastPath:
+    """The single-page read/write/fetch shortcut must agree with the
+    general splitting path on boundaries."""
+
+    def test_exact_page_read(self, machine):
+        __, mmu, authority, __ = machine
+        mmu.write(0x10 << 12, b"A" * PAGE_SIZE)
+        assert mmu.read(0x10 << 12, PAGE_SIZE) == b"A" * PAGE_SIZE
+        assert authority.fills == 1  # write fill (dirty), read then hits
+
+    def test_read_up_to_page_end(self, machine):
+        __, mmu, __, __ = machine
+        mmu.write((0x10 << 12) + PAGE_SIZE - 4, b"tail")
+        assert mmu.read((0x10 << 12) + PAGE_SIZE - 4, 4) == b"tail"
+
+    def test_cross_page_read_still_splits(self, machine):
+        __, mmu, authority, __ = machine
+        mmu.write((0x10 << 12) + PAGE_SIZE - 2, b"ab")
+        mmu.write(0x11 << 12, b"cd")
+        assert mmu.read((0x10 << 12) + PAGE_SIZE - 2, 4) == b"abcd"
+        assert authority.fills == 2  # one fill per page, reads hit
+
+
 def test_no_authority_is_an_error():
     mmu = MMU(PhysicalMemory(1), SoftwareTLB(4), CycleAccount(), CostTable())
     with pytest.raises(RuntimeError):
