@@ -1,0 +1,34 @@
+"""R-F7: transition costs decomposed from probe-bus events.
+
+The completeness proof for the probe stream: if the cloak engine ever
+charges cycles on a transition path without emitting the matching
+probe (or emits a probe whose ``cost`` field disagrees with what it
+charged), the probe-derived table stops matching the ledger-derived
+R-T1 and these tests fail.
+"""
+
+from repro.bench import exp_decomp, exp_transitions
+
+
+def test_exp_decomp(once):
+    results = once(exp_decomp.run)
+    # The probe decomposition must equal the ledger measurement exactly,
+    # transition by transition — not approximately, not structurally.
+    assert results == exp_transitions.run(verbose=False)
+
+
+def test_expected_transition_values():
+    results = exp_decomp.run(verbose=False)
+    assert results["app first touch (zero-fill)"] == 520
+    assert results["app write, already plaintext (no-op)"] == 0
+    assert results["app access, encrypted (verify+decrypt)"] == 9000
+    assert results["system touch, dirty plaintext (encrypt+MAC)"] == 9000
+    assert results["system touch, clean plaintext (ciphertext restore)"] == 900
+    assert results["system touch, clean plaintext w/o optimisation"] == 9000
+
+
+def test_verbose_table_reports_full_agreement(capsys):
+    exp_decomp.run(verbose=True)
+    out = capsys.readouterr().out
+    assert "R-F7" in out
+    assert "matches the cycle ledger exactly" in out

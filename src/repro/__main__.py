@@ -7,6 +7,8 @@ Usage::
     python -m repro --list        # show available experiments
     python -m repro faults        # differential conformance + fault matrix
     python -m repro wallclock     # host-speed harness -> BENCH_wallclock.json
+    python -m repro trace mb-read4k --cloaked --out trace.json
+                                  # probe-bus trace -> Perfetto-loadable JSON
 """
 
 import sys
@@ -20,6 +22,7 @@ def _experiments() -> Dict[str, Callable]:
         exp_attacks,
         exp_channels,
         exp_compute,
+        exp_decomp,
         exp_faults,
         exp_fileio,
         exp_forkexec,
@@ -42,6 +45,7 @@ def _experiments() -> Dict[str, Callable]:
         "r-f4": exp_forkexec.run,
         "r-f5": exp_pressure.run,
         "r-f6": exp_channels.run,
+        "r-f7": exp_decomp.run,
         "r-a1": ablation.run_lazy_vs_eager,
         "r-a2": ablation.run_integrity_modes,
         "r-a3": ablation.run_shadow_policy,
@@ -61,6 +65,7 @@ DESCRIPTIONS = {
     "r-f4": "fork/exec-heavy workloads",
     "r-f5": "overhead vs memory pressure (extension)",
     "r-f6": "sealed-IPC throughput vs message size (extension)",
+    "r-f7": "transition costs decomposed from probe-bus events (extension)",
     "r-a1": "ablation: lazy vs eager re-encryption",
     "r-a2": "ablation: protection modes",
     "r-a3": "ablation: multi-shadowing vs flush",
@@ -121,6 +126,11 @@ def main(argv=None) -> int:
         from repro.bench import wallclock
 
         return wallclock.main(args[1:])
+
+    if args and args[0].lower() == "trace":
+        from repro.obs.cli import main as trace_main
+
+        return trace_main(args[1:])
 
     experiments = _experiments()
 

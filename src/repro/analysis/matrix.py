@@ -50,15 +50,22 @@ TRUST_MATRIX: Dict[str, FrozenSet[str]] = {
 #: ``uapi`` (the syscall/hypercall ABI the shim must speak) and
 #: ``layout`` (the address-space constants that ABI is defined over).
 #: Both are guest-*visible* contracts, not kernel internals.
+#:
+#: ``repro.obs.bus`` is the one cross-cutting exception: the probe bus
+#: is an instrumentation sink with no behavioural surface (probes are
+#: no-ops unless a sink attaches, and sinks may only observe), so every
+#: layer may import it — and *only* it; the rest of ``repro.obs`` is
+#: off limits to instrumented code (OBS001 enforces the details).
 LAYER_MATRIX: Dict[str, Tuple[str, ...]] = {
-    "repro.hw": ("repro.hw",),
+    "repro.hw": ("repro.hw", "repro.obs.bus"),
     "repro.core": (
         "repro.core",
         "repro.hw",
         "repro.guestos.uapi",
         "repro.guestos.layout",
+        "repro.obs.bus",
     ),
-    "repro.guestos": ("repro.guestos", "repro.hw"),
+    "repro.guestos": ("repro.guestos", "repro.hw", "repro.obs.bus"),
 }
 
 

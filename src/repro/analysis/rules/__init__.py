@@ -13,6 +13,7 @@ from repro.analysis.rules.cycle_accounting import CycleAccountingRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.exceptions import ExceptionDisciplineRule
 from repro.analysis.rules.layering import LayeringRule
+from repro.analysis.rules.obs import ProbeIndirectionRule
 from repro.analysis.rules.perf import PerByteLoopRule
 from repro.analysis.rules.secret_flow import SecretFlowRule, UnsealedPersistRule
 from repro.analysis.rules.secrets import SecretHygieneRule
@@ -28,6 +29,7 @@ ALL_RULES = (
     UnsealedPersistRule(),
     LayeringRule(),
     PerByteLoopRule(),
+    ProbeIndirectionRule(),
 )
 
 

@@ -4,9 +4,14 @@ Reproduces the paper's per-transition accounting for its page-state
 diagram: what each kind of context/state mismatch costs, in virtual
 cycles.  These are the primitive costs every macro result decomposes
 into.
+
+The scenario catalog (:func:`scenarios`) is shared with the
+probe-based decomposition experiment (:mod:`repro.bench.exp_decomp`),
+which re-derives this table from probe-bus events alone and asserts
+the two agree.
 """
 
-from typing import Dict
+from typing import Callable, Dict
 
 from repro.bench.tables import Table
 from repro.core.cloak import CloakConfig, CloakEngine
@@ -42,8 +47,13 @@ def _measure(fn) -> int:
     return cycles.since(snap).total
 
 
-def run(verbose: bool = True) -> Dict[str, int]:
-    """Measure each transition; returns {transition: cycles}."""
+def scenarios() -> Dict[str, Callable]:
+    """transition name -> prep function.
+
+    Each prep function takes ``(engine, domain, phys)``, drives the
+    page into the desired pre-state, and returns the zero-argument
+    thunk whose cost *is* the transition.
+    """
 
     def first_touch(engine, domain, phys):
         return lambda: engine.resolve_app_access(domain, VPN, GPFN,
@@ -81,7 +91,7 @@ def run(verbose: bool = True) -> Dict[str, int]:
         return lambda: engine.resolve_app_access(domain, VPN, GPFN,
                                                  AccessKind.READ)
 
-    transitions = {
+    return {
         "app first touch (zero-fill)": first_touch,
         "app write, already plaintext (no-op)": in_place_write,
         "app access, encrypted (verify+decrypt)": decrypt_verify,
@@ -89,7 +99,11 @@ def run(verbose: bool = True) -> Dict[str, int]:
         "system touch, clean plaintext (ciphertext restore)": restore_clean,
         "system touch, clean plaintext w/o optimisation": reencrypt_clean_noopt,
     }
-    results = {name: _measure(fn) for name, fn in transitions.items()}
+
+
+def run(verbose: bool = True) -> Dict[str, int]:
+    """Measure each transition; returns {transition: cycles}."""
+    results = {name: _measure(fn) for name, fn in scenarios().items()}
 
     if verbose:
         table = Table("R-T1: cloaking transition costs (virtual cycles/page)",

@@ -29,6 +29,7 @@ from repro.hw.cycles import CycleAccount, StatCounters
 from repro.hw.faults import AccessKind
 from repro.hw.params import CostTable, PAGE_SIZE
 from repro.hw.phys import PhysicalMemory
+from repro.obs import bus
 
 
 @dataclass
@@ -140,6 +141,7 @@ class CloakEngine:
         md.cached_ciphertext = None
         self.store.note_plaintext(md, gpfn)
         self._stats.bump("cloak.zero_fills")
+        bus.cloak_zero_fill(md.owner_id, md.vpn, gpfn, self._costs.zero_fill)
 
     def _verify_and_decrypt(
         self, domain: ProtectionDomain, md: PageMetadata, gpfn: int
@@ -168,11 +170,17 @@ class CloakEngine:
             md.cached_ciphertext = contents
         self.store.note_plaintext(md, gpfn)
         self._stats.bump("cloak.decrypts")
+        if bus.ACTIVE:
+            cost = self._costs.page_hash
+            if not self.config.integrity_only:
+                cost += self._costs.page_decrypt
+            bus.cloak_decrypt(md.owner_id, md.vpn, gpfn, cost)
 
     def _upgrade_to_dirty(self, md: PageMetadata) -> None:
         md.state = CloakState.PLAINTEXT_DIRTY
         md.cached_ciphertext = None
         self._stats.bump("cloak.dirty_upgrades")
+        bus.cloak_dirty_upgrade(md.owner_id, md.vpn)
 
     # -- system-side transitions ------------------------------------------------
 
@@ -188,6 +196,8 @@ class CloakEngine:
             self._phys.write_frame(gpfn, md.cached_ciphertext)
             self._cycles.charge("crypto", self._costs.ciphertext_restore)
             self._stats.bump("cloak.ct_restores")
+            bus.cloak_ct_restore(md.owner_id, md.vpn, gpfn,
+                                 self._costs.ciphertext_restore)
         else:
             self._encrypt(md, gpfn)
         md.state = CloakState.ENCRYPTED
@@ -236,6 +246,11 @@ class CloakEngine:
         if not self.config.integrity_only:
             self._cycles.charge("crypto", self._costs.page_encrypt)
         self._stats.bump("cloak.encrypts")
+        if bus.ACTIVE:
+            cost = self._costs.page_hash
+            if not self.config.integrity_only:
+                cost += self._costs.page_encrypt
+            bus.cloak_encrypt(md.owner_id, md.vpn, gpfn, cost)
         if md.file_binding is not None:
             file_id, page_index = md.file_binding
             self.file_store.save(md.lineage_id, file_id, page_index, version, iv, mac)

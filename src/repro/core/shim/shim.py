@@ -30,6 +30,7 @@ from repro.core.shim.marshal import MarshalArena
 from repro.core.shim.protocol import SyscallClass, classify
 from repro.guestos import layout, uapi
 from repro.guestos.uapi import Copy, HypercallOp, Load, Store, Syscall, SyscallOp
+from repro.obs import bus
 
 #: Registers that stay visible to the kernel on an intentional syscall
 #: (the argument-passing convention); everything else is scrubbed.
@@ -231,6 +232,8 @@ class ShimRuntime(BaseRuntime):
         # Unprotected channel: marshal through the uncloaked arena,
         # possibly in chunks when the buffer exceeds the arena.
         self.marshalled_calls += 1
+        if bus.ACTIVE:
+            bus.shim_marshal(op.number.name)
         total = 0
         offset = 0
         while offset < nbytes or (nbytes == 0 and offset == 0):
@@ -285,6 +288,8 @@ class ShimRuntime(BaseRuntime):
             result = yield from self.files.open(path, flags)
             return result
         self.marshalled_calls += 1
+        if bus.ACTIVE:
+            bus.shim_marshal(Syscall.OPEN.name)
         self.arena.reset()
         m_vaddr, m_len = yield from self._marshal_string(path)
         result = yield SyscallOp(Syscall.OPEN, (m_vaddr, m_len, flags))
@@ -295,6 +300,8 @@ class ShimRuntime(BaseRuntime):
         rest = op.args[2:]
         path = yield from self._read_own_string(path_vaddr, path_len)
         self.marshalled_calls += 1
+        if bus.ACTIVE:
+            bus.shim_marshal(op.number.name)
         self.arena.reset()
         m_vaddr, m_len = yield from self._marshal_string(path)
         result = yield SyscallOp(op.number, (m_vaddr, m_len) + rest,
@@ -306,6 +313,8 @@ class ShimRuntime(BaseRuntime):
         old_path = yield from self._read_own_string(old_vaddr, old_len)
         new_path = yield from self._read_own_string(new_vaddr, new_len)
         self.marshalled_calls += 1
+        if bus.ACTIVE:
+            bus.shim_marshal(Syscall.RENAME.name)
         self.arena.reset()
         m_old, m_old_len = yield from self._marshal_string(old_path)
         m_new, m_new_len = yield from self._marshal_string(new_path)
@@ -317,6 +326,8 @@ class ShimRuntime(BaseRuntime):
         path_vaddr, path_len, buf_vaddr, buf_len = op.args
         path = yield from self._read_own_string(path_vaddr, path_len)
         self.marshalled_calls += 1
+        if bus.ACTIVE:
+            bus.shim_marshal(Syscall.READDIR.name)
         self.arena.reset()
         m_path, m_path_len = yield from self._marshal_string(path)
         m_buf = self.arena.alloc(buf_len)

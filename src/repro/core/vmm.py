@@ -32,6 +32,7 @@ from repro.hw.pagetable import PageTableWalker
 from repro.hw.params import CostTable, PAGE_SHIFT
 from repro.hw.phys import PhysicalMemory
 from repro.hw.tlb import TLBEntry
+from repro.obs import bus
 
 
 @dataclass
@@ -175,6 +176,8 @@ class VMM(TranslationAuthority):
         )
         self.shadows.install(asid, view, entry)
         self._cycles.charge("vmm", self._costs.shadow_fill)
+        if bus.ACTIVE:
+            bus.vmm_shadow_fill(asid, view, vpn, gpfn)
         return entry
 
     def _resolve_cloaking(self, view: int, vpn: int, gpfn: int,
@@ -298,6 +301,8 @@ class VMM(TranslationAuthority):
         """
         domain_id = self.thread_domain(pid)
         self._cycles.charge("vmm", self._costs.world_switch)
+        if bus.ACTIVE:
+            bus.vmm_enter_user(pid, domain_id)
         self._apply_shadow_policy(asid, domain_id)
         self._cpu.enter_context(asid, domain_id, CPUMode.USER)
         if domain_id != SYSTEM_DOMAIN:
@@ -321,6 +326,8 @@ class VMM(TranslationAuthority):
         """
         domain_id = self.thread_domain(pid)
         self._cycles.charge("vmm", self._costs.world_switch)
+        if bus.ACTIVE:
+            bus.vmm_exit_user(pid, reason.name, domain_id)
         self._apply_shadow_policy(self._cpu.asid, SYSTEM_VIEW)
         if domain_id != SYSTEM_DOMAIN:
             ctc = self.ctcs.get(pid)
@@ -357,6 +364,8 @@ class VMM(TranslationAuthority):
         caller = self._cpu.view
         self._cycles.charge("vmm", self._costs.hypercall + self._costs.world_switch)
         self.stats.bump("vmm.hypercalls")
+        if bus.ACTIVE:
+            bus.vmm_hypercall(number.name)
         if self.faults is not None:
             mode = self.faults.hypercall_fault(number)
             if mode == "duplicate":

@@ -36,6 +36,8 @@ and the fault-recovery matrix (R-T5) check.
 import random
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.obs import bus
+
 #: Containment contract values.
 CONTAIN_RECOVER = "recover"
 CONTAIN_DETECT = "detect"
@@ -292,6 +294,7 @@ class FaultPlan:
         if fire:
             self._fires[site] = fired + 1
             self.log.append(FaultDecision(site, index, fired))
+            bus.fault_fire(site)
         return fire
 
     # -- accounting / replay --------------------------------------------------

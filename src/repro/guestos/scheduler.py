@@ -4,6 +4,7 @@ from collections import deque
 from typing import Deque, Optional
 
 from repro.guestos.process import Process, ProcessState
+from repro.obs import bus
 
 
 class Scheduler:
@@ -34,6 +35,8 @@ class Scheduler:
             if proc.state is ProcessState.READY:
                 proc.state = ProcessState.RUNNING
                 self.context_switches += 1
+                if bus.ACTIVE:
+                    bus.sched_slice(proc.pid)
                 return proc
         return None
 

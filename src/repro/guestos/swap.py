@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.guestos.blockcache import BlockCache
 from repro.guestos.process import Process, ProcessState, VMA
+from repro.obs import bus
 
 
 class SwapSpace:
@@ -101,6 +102,7 @@ class PageReclaimer:
         # encrypts cloaked plaintext in place before the device (and
         # this kernel) ever sees the bytes.
         self.swap.write_out(proc.asid, vpn, pfn)
+        bus.swap_out(proc.asid, vpn, pfn)
         proc.aspace.unmap_page(vpn)
         kernel.alloc.free(pfn)
 
@@ -114,6 +116,7 @@ class PageReclaimer:
         kernel = self._kernel
         pfn = kernel.alloc.alloc()
         self.swap.read_in(proc.asid, vpn, pfn)
+        bus.swap_in(proc.asid, vpn, pfn)
         vma = proc.aspace.find_vma(vpn)
         writable = vma.writable if vma is not None else True
         proc.aspace.map_page(vpn, pfn, writable=writable)

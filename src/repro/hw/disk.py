@@ -11,6 +11,7 @@ from typing import List, Optional
 
 from repro.hw.cycles import CycleAccount
 from repro.hw.params import CostTable
+from repro.obs import bus
 
 
 class Disk:
@@ -54,6 +55,7 @@ class Disk:
             raise IndexError(f"bad block {lba}")
         self.reads += 1
         self._charge()
+        bus.disk_read(lba)
         data = self._blocks[lba]
         if data is None:
             return bytes(self._block_size)
@@ -75,4 +77,5 @@ class Disk:
             )
         self.writes += 1
         self._charge()
+        bus.disk_write(lba)
         self._blocks[lba] = bytes(data)

@@ -20,6 +20,7 @@ from repro.hw.faults import AccessKind, GeneralProtectionFault, PageFault, PageF
 from repro.hw.params import CostTable, PAGE_SHIFT, PAGE_SIZE
 from repro.hw.phys import PhysicalMemory
 from repro.hw.tlb import SoftwareTLB, TLBEntry
+from repro.obs import bus
 
 #: View tag for the system world: the guest kernel and all uncloaked
 #: applications share this view.  Cloaked domains use their domain id.
@@ -115,6 +116,8 @@ class MMU:
             self._cycles.charge("mmu", self._costs.tlb_fill)
             entry = self._authority.fill(self._asid, self._view, vpn, access, self._mode)
             self._tlb.insert(self._asid, self._view, entry)
+            if bus.ACTIVE:
+                bus.tlb_fill(self._asid, self._view, vpn)
         self._check_permissions(entry, vaddr, access)
         return entry
 

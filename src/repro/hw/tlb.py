@@ -12,6 +12,8 @@ contexts rather than forcing a flush per transition.
 from collections import OrderedDict
 from typing import Iterator, Optional, Tuple
 
+from repro.obs import bus
+
 
 class TLBEntry:
     """One cached translation.
@@ -82,7 +84,9 @@ class SoftwareTLB:
         if key in self._entries:
             self._entries.move_to_end(key)
         elif len(self._entries) >= self._capacity:
-            self._entries.popitem(last=False)
+            victim, __ = self._entries.popitem(last=False)
+            if bus.ACTIVE:
+                bus.tlb_evict(victim[0], victim[1], victim[2])
         self._entries[key] = entry
 
     def invalidate_page(self, vpn: int, asid: Optional[int] = None) -> int:

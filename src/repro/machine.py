@@ -47,6 +47,7 @@ from repro.hw.phys import FrameAllocator, PhysicalMemory
 from repro.hw.tlb import SoftwareTLB
 from repro.faults.plan import SITE_EVICT_UNDER_USE
 from repro.guestos import uapi
+from repro.obs import bus
 
 #: Registers left kernel-visible on an intentional syscall.
 VISIBLE_SYSCALL_REGS = ("r0", "r1", "r2", "r3", "r4", "r5")
@@ -214,6 +215,7 @@ class Machine:
                     # detection against the system (pid -1).
                     self.violations.append(ViolationRecord(-1, violation))
                     self.stats.bump("machine.violations")
+                    bus.vmm_violation(-1, type(violation).__name__)
                 next_reclaim = self._next_reclaim_deadline()
             self.kernel.wake_due_sleepers()
             proc = self.kernel.scheduler.pick()
@@ -222,6 +224,12 @@ class Machine:
                     continue
                 return executed
             executed += self._run_slice(proc)
+            if bus.ACTIVE:
+                # Per-slice aggregate of the TLB's fast-path counters:
+                # per-hit probes would swamp the bus (and the wallclock
+                # budget); cumulative totals at slice boundaries carry
+                # the same information.
+                bus.tlb_hits(self.tlb.hits, self.tlb.misses)
         raise RuntimeError(f"machine did not quiesce within {max_ops} ops")
 
     def _next_reclaim_deadline(self) -> Optional[int]:
@@ -329,6 +337,7 @@ class Machine:
                 # terminate the application (it cannot make progress).
                 self.violations.append(ViolationRecord(proc.pid, violation))
                 self.stats.bump("machine.violations")
+                bus.vmm_violation(proc.pid, type(violation).__name__)
                 self.vmm.exit_user(proc.pid, ExitReason.FAULT)
                 kernel.do_exit(proc, 139)
                 return executed

@@ -1,0 +1,26 @@
+"""First-class observability for the Overshadow reproduction.
+
+The paper's argument is an *attribution* argument — cloaking cost
+decomposes into page transitions, shadow faults, and shim marshalling
+— and this package is the layer that makes such decompositions a
+query instead of a bespoke experiment:
+
+* :mod:`repro.obs.bus` — the probe bus: ~20 named instrumentation
+  points fired from the VMM, cloak engine, MMU/TLB, disk, swap,
+  scheduler, shim, and fault injector.  Zero-cost when no sink is
+  attached (probes are module-level no-ops until then).
+* :mod:`repro.obs.metrics` — a metrics registry sink: event counters
+  and virtual-cycle histograms keyed by component and domain,
+  snapshot-able as deterministic JSON.
+* :mod:`repro.obs.profile` — a cycle profiler attributing the cycle
+  ledger to a component tree, with a text flame summary and a
+  per-page thrash report.
+* :mod:`repro.obs.export` — deterministic JSONL and Chrome
+  trace-event JSON (Perfetto-loadable; virtual cycles are the clock).
+* :mod:`repro.obs.cli` — ``python -m repro trace <program>``.
+
+This module deliberately imports none of its submodules: instrumented
+hot paths do ``from repro.obs import bus`` and must not drag sinks or
+exporters into the hw/core import graph (rule OBS001).  See
+docs/OBSERVABILITY.md for the probe catalog and exporter formats.
+"""

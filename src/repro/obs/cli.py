@@ -1,0 +1,153 @@
+"""``python -m repro trace`` — run a program with the probe bus on.
+
+Usage::
+
+    python -m repro trace <program> [args...] [--native|--cloaked]
+                          [--out trace.json] [--jsonl trace.jsonl]
+                          [--metrics] [--metrics-out metrics.json]
+                          [--top N] [--quiet]
+
+``<program>`` is any registered app (``python -m repro trace mb-read4k
+--cloaked``); the pseudo-program ``microbench`` runs the entire
+syscall microbenchmark suite on one machine.  ``--out`` writes Chrome
+trace-event JSON (load it at https://ui.perfetto.dev — the timeline
+unit is *virtual cycles*), ``--jsonl`` the line-per-event form, and
+``--metrics``/``--metrics-out`` the counter/histogram snapshot.  The
+flame summary and page-thrash report always print unless ``--quiet``.
+
+Everything emitted is derived from the deterministic virtual-cycle
+world, so repeated invocations produce byte-identical files.
+"""
+
+from typing import List, Optional, Tuple
+
+USAGE = ("usage: python -m repro trace <program|microbench> [args...] "
+         "[--native|--cloaked] [--out PATH] [--jsonl PATH] "
+         "[--metrics] [--metrics-out PATH] [--top N] [--quiet]")
+
+
+def _parse(argv: List[str]):
+    program: Optional[str] = None
+    args: List[str] = []
+    cloaked = True
+    out = jsonl = metrics_out = None
+    want_metrics = False
+    quiet = False
+    top = 10
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--native":
+            cloaked = False; i += 1
+        elif arg == "--cloaked":
+            cloaked = True; i += 1
+        elif arg == "--out":
+            out = argv[i + 1]; i += 2
+        elif arg == "--jsonl":
+            jsonl = argv[i + 1]; i += 2
+        elif arg == "--metrics":
+            want_metrics = True; i += 1
+        elif arg == "--metrics-out":
+            metrics_out = argv[i + 1]; want_metrics = True; i += 2
+        elif arg == "--top":
+            top = int(argv[i + 1]); i += 2
+        elif arg == "--quiet":
+            quiet = True; i += 1
+        elif arg.startswith("-"):
+            raise ValueError(f"unknown trace option: {arg}")
+        elif program is None:
+            program = arg; i += 1
+        else:
+            args.append(arg); i += 1
+    if program is None:
+        raise ValueError("no program named")
+    return (program, tuple(args), cloaked, out, jsonl, want_metrics,
+            metrics_out, top, quiet)
+
+
+def _run_traced(program: str, args: Tuple[str, ...], cloaked: bool,
+                want_metrics: bool):
+    """Build a machine, attach sinks, run; returns the sink bundle."""
+    from repro.bench.runner import fresh_machine
+    from repro.obs import bus
+    from repro.obs.export import TraceRecorder
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profile import CycleProfiler
+
+    machine = fresh_machine(cloaked=cloaked)
+    recorder = TraceRecorder()
+    metrics = MetricsRegistry() if want_metrics else None
+    profiler = CycleProfiler(machine.cycles)
+
+    bus.attach(recorder, machine.cycles)
+    if metrics is not None:
+        bus.attach(metrics, machine.cycles)
+    profiler.attach()
+    exit_codes = []
+    try:
+        if program == "microbench":
+            from repro.apps.microbench import MICRO_SUITE
+
+            for program_cls in MICRO_SUITE:
+                result = machine.run_program(program_cls.name, args)
+                exit_codes.append((program_cls.name, result.exit_code))
+        else:
+            result = machine.run_program(program, args)
+            exit_codes.append((program, result.exit_code))
+    finally:
+        profiler.detach()
+        if metrics is not None:
+            bus.detach(metrics)
+        bus.detach(recorder)
+    return machine, recorder, metrics, profiler, exit_codes
+
+
+def main(argv: List[str]) -> int:
+    try:
+        (program, args, cloaked, out, jsonl, want_metrics, metrics_out,
+         top, quiet) = _parse(argv)
+    except (ValueError, IndexError) as exc:
+        print(f"trace: {exc}")
+        print(USAGE)
+        return 2
+
+    try:
+        machine, recorder, metrics, profiler, exit_codes = _run_traced(
+            program, args, cloaked, want_metrics)
+    except KeyError as exc:
+        print(f"trace: unknown program {exc}")
+        return 2
+
+    from repro.obs import export
+
+    world = "cloaked" if cloaked else "native"
+    distinct = len({name for name, __, __a in recorder.events})
+    print(f"trace: {program} ({world}), {len(recorder.events)} events "
+          f"across {distinct} probes, "
+          f"{machine.cycles.total:,} virtual cycles")
+    failed = [(name, code) for name, code in exit_codes if code != 0]
+    for name, code in failed:
+        print(f"trace: {name} exited {code}")
+
+    if not quiet:
+        print()
+        print(profiler.render_flame())
+        print()
+        print(profiler.render_thrash(top))
+        if metrics is not None:
+            print()
+            print(metrics.render())
+
+    if out is not None:
+        path = export.write_chrome_trace(recorder.events, out)
+        print(f"wrote Chrome trace to {path} "
+              "(open at https://ui.perfetto.dev; clock = virtual cycles)")
+    if jsonl is not None:
+        path = export.write_jsonl(recorder.events, jsonl)
+        print(f"wrote JSONL trace to {path}")
+    if metrics is not None and metrics_out is not None:
+        from pathlib import Path
+
+        Path(metrics_out).write_text(metrics.to_json(), encoding="utf-8")
+        print(f"wrote metrics snapshot to {metrics_out}")
+    return 1 if failed else 0

@@ -1,10 +1,19 @@
 """Event tracing: observability for cloaking behaviour.
 
+.. deprecated::
+    ``Tracer`` predates :mod:`repro.obs` and survives as a thin
+    compatibility shim over the probe bus.  New code should attach a
+    :class:`repro.obs.profile.CycleProfiler` (ledger attribution and
+    thrash reports) or a :class:`repro.obs.export.TraceRecorder`
+    (full event streams, Perfetto export) directly — see
+    docs/OBSERVABILITY.md.
+
 A downstream user debugging "why is my cloaked app slow?" needs to see
-*which* pages are thrashing between views and *which* syscalls are
-paying marshalling.  The tracer taps the machine's stat counters and
-cycle ledger at slice granularity and the cloak engine's transitions
-at event granularity, then renders a timeline and per-page summary.
+*which* pages are thrashing between views.  Historically the tracer
+monkey-patched the cloak engine's transition methods; it is now a
+probe-bus sink subscribed to the ``cloak.*`` probes the engine emits
+natively, so attaching no longer mutates the engine at all.  The
+public API (events, counts, summaries) is unchanged.
 
 Usage::
 
@@ -13,13 +22,13 @@ Usage::
     ...run...
     print(tracer.render_summary())
 
-Attaching wraps a handful of methods; detaching restores them.  The
-tracer is a development tool — nothing in the TCB depends on it.
+The tracer is a development tool — nothing in the TCB depends on it.
 """
 
-from typing import Dict, List, NamedTuple, Optional
+from typing import Dict, List, NamedTuple
 
 from repro.machine import Machine
+from repro.obs import bus
 
 
 class TraceEvent(NamedTuple):
@@ -32,13 +41,21 @@ class TraceEvent(NamedTuple):
     gpfn: int
 
 
+#: cloak.* probe name -> legacy event kind.
+_KIND_OF_PROBE = {
+    "cloak.decrypt": "decrypt",
+    "cloak.encrypt": "encrypt",
+    "cloak.zero_fill": "zero-fill",
+    "cloak.ct_restore": "ct-restore",
+}
+
+
 class Tracer:
     """Records cloaking transitions with virtual timestamps."""
 
     def __init__(self, machine: Machine):
         self._machine = machine
         self.events: List[TraceEvent] = []
-        self._originals: Dict[str, object] = {}
         self._attached = False
 
     # ------------------------------------------------------------------
@@ -54,60 +71,13 @@ class Tracer:
     def _install(self) -> None:
         if self._attached:
             raise RuntimeError("tracer already attached")
-        engine = self._machine.vmm.cloak
-        cycles = self._machine.cycles
-        record = self.events.append
-
-        originals = {
-            "_verify_and_decrypt": engine._verify_and_decrypt,
-            "_encrypt": engine._encrypt,
-            "_zero_fill": engine._zero_fill,
-            "resolve_system_access": engine.resolve_system_access,
-        }
-
-        def traced_decrypt(domain, md, gpfn,
-                           _orig=originals["_verify_and_decrypt"]):
-            _orig(domain, md, gpfn)
-            record(TraceEvent(cycles.total, "decrypt", md.owner_id,
-                              md.vpn, gpfn))
-
-        def traced_encrypt(md, gpfn, _orig=originals["_encrypt"]):
-            _orig(md, gpfn)
-            record(TraceEvent(cycles.total, "encrypt", md.owner_id,
-                              md.vpn, gpfn))
-
-        def traced_zero(md, gpfn, _orig=originals["_zero_fill"]):
-            _orig(md, gpfn)
-            record(TraceEvent(cycles.total, "zero-fill", md.owner_id,
-                              md.vpn, gpfn))
-
-        def traced_system(md, gpfn,
-                          _orig=originals["resolve_system_access"],
-                          _enc=originals["_encrypt"]):
-            before = len(self.events)
-            _orig(md, gpfn)
-            # The encrypt path recorded itself; a cached-ciphertext
-            # restore did not — detect and record it.
-            if len(self.events) == before:
-                record(TraceEvent(cycles.total, "ct-restore", md.owner_id,
-                                  md.vpn, gpfn))
-
-        engine._verify_and_decrypt = traced_decrypt
-        engine._encrypt = traced_encrypt
-        engine._zero_fill = traced_zero
-        engine.resolve_system_access = traced_system
-        self._originals = originals
+        bus.attach(self, self._machine.cycles)
         self._attached = True
 
     def detach(self) -> None:
         if not self._attached:
             return
-        engine = self._machine.vmm.cloak
-        # The wrappers live as instance attributes shadowing the class
-        # methods; deleting them restores the originals exactly.
-        for name in ("_verify_and_decrypt", "_encrypt", "_zero_fill",
-                     "resolve_system_access"):
-            engine.__dict__.pop(name, None)
+        bus.detach(self)
         self._attached = False
 
     def __enter__(self) -> "Tracer":
@@ -117,6 +87,17 @@ class Tracer:
 
     def __exit__(self, *exc) -> None:
         self.detach()
+
+    # ------------------------------------------------------------------
+    # sink protocol (called by the probe bus)
+    # ------------------------------------------------------------------
+
+    def on_event(self, name: str, cycle: int, args: tuple) -> None:
+        kind = _KIND_OF_PROBE.get(name)
+        if kind is None:
+            return
+        owner, vpn, gpfn = args[0], args[1], args[2]
+        self.events.append(TraceEvent(cycle, kind, owner, vpn, gpfn))
 
     # ------------------------------------------------------------------
     # analysis

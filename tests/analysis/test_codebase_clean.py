@@ -43,8 +43,8 @@ def test_codebase_is_clean():
 
 def test_all_registered_rules_ran():
     assert sorted(r.rule_id for r in ALL_RULES) == [
-        "API001", "CYC001", "DET001", "ERR001", "PERF001", "SEC001",
-        "SEC002", "SEC003", "TB001",
+        "API001", "CYC001", "DET001", "ERR001", "OBS001", "PERF001",
+        "SEC001", "SEC002", "SEC003", "TB001",
     ]
 
 

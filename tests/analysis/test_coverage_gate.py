@@ -57,6 +57,43 @@ def _exercise() -> None:
     machine.register(SecretFileWriter, cloaked=True)
     measure_program(machine, "secretfilewriter", ("/secure/ledger.dat", "3"))
 
+    # A traced run: with a sink attached the core's guarded probe
+    # emissions (``if bus.ACTIVE: ...``) execute too.  The inline
+    # program walks the marshalled path-call families (open, stat,
+    # rename, readdir, unlink) the microbenches don't reach.
+    from repro.apps.program import Program
+    from repro.guestos import uapi
+    from repro.obs import bus
+    from repro.obs.export import TraceRecorder
+
+    class PathWalker(Program):
+        name = "pathwalker"
+
+        def main(self, ctx):
+            d_vaddr, d_len = yield from ctx.put_string("/workdir")
+            yield ctx.mkdir(d_vaddr, d_len)
+            f_vaddr, f_len = yield from ctx.put_string("/workdir/f")
+            fd = yield ctx.open(f_vaddr, f_len, uapi.O_CREAT | uapi.O_RDWR)
+            yield ctx.close(fd)
+            yield ctx.stat(f_vaddr, f_len)
+            g_vaddr, g_len = yield from ctx.put_string("/workdir/g")
+            yield ctx.rename(f_vaddr, f_len, g_vaddr, g_len)
+            buf = ctx.scratch(128)
+            count = yield ctx.readdir(d_vaddr, d_len, buf, 128)
+            yield ctx.load(buf, count)
+            yield ctx.unlink(g_vaddr, g_len)
+            return 0
+
+    machine = fresh_machine(cloaked=True, programs=("mb-readsec4k",))
+    machine.register(PathWalker, cloaked=True)
+    recorder = TraceRecorder()
+    bus.attach(recorder, machine.cycles)
+    try:
+        measure_program(machine, "mb-readsec4k", ("2",))
+        measure_program(machine, "pathwalker", ())
+    finally:
+        bus.detach(recorder)
+
     # The attack suite: every violation/detection path in the core.
     run_suite()
 

@@ -1,4 +1,4 @@
-"""Tests for the cloaking tracer."""
+"""Tests for the cloaking tracer (legacy shim over the probe bus)."""
 
 import pytest
 
@@ -6,6 +6,7 @@ from repro.apps.secrets import SecretHolder
 from repro.bench.runner import fresh_machine, measure_program
 from repro.hw.mmu import MODE_KERNEL, SYSTEM_VIEW
 from repro.machine import Machine
+from repro.obs import bus
 from repro.trace import Tracer
 
 
@@ -55,21 +56,25 @@ class TestTracer:
         __, tracer, __p = traced_secret_run()
         assert tracer.crypto_cycle_estimate() > 0
 
-    def test_detach_restores_engine(self):
+    def test_detach_restores_bus(self):
         machine = Machine.build()
         engine = machine.vmm.cloak
         tracer = Tracer.attach(machine)
-        assert "_encrypt" in engine.__dict__  # wrapper installed
+        # Attaching no longer monkey-patches the engine — the tracer is
+        # a probe-bus sink and the cloak methods stay pristine.
+        assert "_encrypt" not in engine.__dict__
+        assert tracer in bus.attached_sinks()
         tracer.detach()
-        assert "_encrypt" not in engine.__dict__  # class method restored
+        assert tracer not in bus.attached_sinks()
+        assert not bus.ACTIVE
 
     def test_context_manager(self):
         machine = fresh_machine(cloaked=True)
-        engine = machine.vmm.cloak
         with Tracer(machine) as tracer:
             measure_program(machine, "matmul")
             assert isinstance(tracer.counts(), dict)
-        assert "_encrypt" not in engine.__dict__
+        assert tracer not in bus.attached_sinks()
+        assert not bus.ACTIVE
 
     def test_empty_trace_renders(self):
         machine = Machine.build()

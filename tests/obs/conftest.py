@@ -1,0 +1,21 @@
+"""Shared guard: no test may leak an attached sink.
+
+The probe bus is module-global state; a sink left attached by a
+failing test would silently contaminate every later test's event
+stream (and its wall-clock).  Each test in this package runs between
+clean-bus assertions.
+"""
+
+import pytest
+
+from repro.obs import bus
+
+
+@pytest.fixture(autouse=True)
+def clean_bus():
+    bus.detach_all()
+    assert not bus.ACTIVE
+    yield
+    leaked = bus.attached_sinks()
+    bus.detach_all()
+    assert not leaked, f"test leaked attached sinks: {leaked!r}"

@@ -1,0 +1,95 @@
+"""Exporters: JSONL shape, Chrome trace-event schema, validation."""
+
+import json
+
+from repro.obs import bus
+from repro.obs.export import (TraceRecorder, to_chrome_trace, to_jsonl,
+                              validate_chrome_trace, write_chrome_trace,
+                              write_jsonl)
+
+EVENTS = [
+    ("vmm.enter_user", 100, (1, 2)),
+    ("cloak.zero_fill", 620, (2, 0x100, 3, 520)),
+    ("tlb.fill", 700, (1, 2, 0x100)),
+    ("cloak.decrypt", 9700, (2, 0x100, 3, 9000)),
+]
+
+
+class TestRecorder:
+    def test_records_raw_stream(self):
+        recorder = TraceRecorder()
+        bus.attach(recorder, lambda: 5)
+        bus.swap_out(1, 0x10, 4)
+        bus.detach(recorder)
+        assert recorder.events == [("swap.out", 5, (1, 0x10, 4))]
+        assert len(recorder) == 1
+
+
+class TestJsonl:
+    def test_one_named_object_per_line(self):
+        lines = to_jsonl(EVENTS).splitlines()
+        assert len(lines) == len(EVENTS)
+        first = json.loads(lines[0])
+        assert first == {"name": "vmm.enter_user", "cycle": 100,
+                         "pid": 1, "domain": 2}
+        cloak = json.loads(lines[1])
+        assert cloak["cost"] == 520 and cloak["owner"] == 2
+
+    def test_empty_stream_is_empty_file(self):
+        assert to_jsonl([]) == ""
+
+    def test_write_roundtrip(self, tmp_path):
+        path = write_jsonl(EVENTS, tmp_path / "t.jsonl")
+        assert path.read_text().count("\n") == len(EVENTS)
+
+
+class TestChromeTrace:
+    def test_cost_probes_become_slices(self):
+        obj = to_chrome_trace(EVENTS)
+        slices = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+        assert [(e["name"], e["ts"], e["dur"]) for e in slices] == [
+            ("cloak.zero_fill", 100, 520),
+            ("cloak.decrypt", 700, 9000),
+        ]
+
+    def test_instant_probes_have_scope(self):
+        obj = to_chrome_trace(EVENTS)
+        instants = [e for e in obj["traceEvents"] if e["ph"] == "i"]
+        assert {e["name"] for e in instants} == {"vmm.enter_user", "tlb.fill"}
+        assert all(e["s"] == "t" for e in instants)
+
+    def test_components_get_named_thread_rows(self):
+        obj = to_chrome_trace(EVENTS)
+        threads = {e["args"]["name"]: e["tid"] for e in obj["traceEvents"]
+                   if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert set(threads) == {"vmm", "cloak", "tlb"}
+        # Distinct components on distinct rows.
+        assert len(set(threads.values())) == 3
+
+    def test_emitted_trace_validates(self, tmp_path):
+        path = write_chrome_trace(EVENTS, tmp_path / "trace.json")
+        assert validate_chrome_trace(json.loads(path.read_text())) == []
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["missing traceEvents array"]
+
+    def test_rejects_unknown_probe_and_bad_fields(self):
+        obj = {"traceEvents": [
+            {"name": "not.a.probe", "ph": "i", "s": "t", "pid": 1,
+             "tid": 1, "ts": 0, "args": {}},
+            {"name": "cloak.decrypt", "ph": "X", "pid": 1, "tid": 1,
+             "ts": -5, "dur": 0, "args": {}},
+        ]}
+        problems = validate_chrome_trace(obj)
+        assert any("not.a.probe" in p for p in problems)
+        assert any("bad ts" in p for p in problems)
+        assert any("bad dur" in p for p in problems)
+
+    def test_rejects_unsupported_phase(self):
+        obj = {"traceEvents": [{"name": "x", "ph": "B", "pid": 1, "tid": 1}]}
+        assert any("phase" in p for p in validate_chrome_trace(obj))

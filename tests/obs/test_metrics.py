@@ -1,0 +1,84 @@
+"""Metrics registry: counters, histograms, deterministic snapshots."""
+
+import json
+
+from repro.obs import bus
+from repro.obs.metrics import MetricsRegistry
+
+
+def feed(registry, events):
+    bus.attach(registry, lambda: feed.cycle)
+    try:
+        for name, cycle, args in events:
+            feed.cycle = cycle
+            getattr(bus, bus.probe_attr(name))(*args)
+    finally:
+        bus.detach(registry)
+
+
+feed.cycle = 0
+
+EVENTS = [
+    ("vmm.enter_user", 100, (1, 2)),
+    ("cloak.zero_fill", 620, (2, 0x100, 3, 520)),
+    ("cloak.decrypt", 9620, (2, 0x100, 3, 9000)),
+    ("cloak.encrypt", 18620, (7, 0x200, 4, 9000)),
+    ("tlb.fill", 18700, (1, 2, 0x100)),
+]
+
+
+class TestAccumulation:
+    def test_per_probe_counters(self):
+        registry = MetricsRegistry()
+        feed(registry, EVENTS)
+        assert registry.counters["cloak.decrypt"] == 1
+        assert registry.total_events() == 5
+
+    def test_component_cycles_sum_cost_fields(self):
+        registry = MetricsRegistry()
+        feed(registry, EVENTS)
+        snap = registry.snapshot()
+        assert snap["components"]["cloak"]["cycles"] == 520 + 9000 + 9000
+        assert snap["components"]["vmm"]["cycles"] == 0
+
+    def test_cost_histogram_buckets_are_log2(self):
+        registry = MetricsRegistry()
+        feed(registry, EVENTS)
+        hist = registry.snapshot()["components"]["cloak"]["cost_histogram"]
+        # 520 -> bucket <1024; 9000 (x2) -> bucket <16384.
+        assert hist == {"<1024": 1, "<16384": 2}
+
+    def test_per_domain_attribution(self):
+        registry = MetricsRegistry()
+        feed(registry, EVENTS)
+        domains = registry.snapshot()["domains"]
+        assert domains["2"] == {"events": 3, "cycles": 9520}
+        assert domains["7"] == {"events": 1, "cycles": 9000}
+
+    def test_span_covers_first_and_last_event(self):
+        registry = MetricsRegistry()
+        feed(registry, EVENTS)
+        assert registry.snapshot()["span"] == [100, 18700]
+
+
+class TestSnapshotDeterminism:
+    def test_identical_streams_serialize_identically(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        feed(a, EVENTS)
+        feed(b, EVENTS)
+        assert a.to_json() == b.to_json()
+
+    def test_snapshot_is_valid_sorted_json(self):
+        registry = MetricsRegistry()
+        feed(registry, EVENTS)
+        text = registry.to_json()
+        assert json.loads(text)["schema"] == 1
+        assert text == json.dumps(json.loads(text), indent=2,
+                                  sort_keys=True) + "\n"
+
+    def test_render_mentions_probes_and_domains(self):
+        registry = MetricsRegistry()
+        feed(registry, EVENTS)
+        rendered = registry.render()
+        assert "cloak.decrypt" in rendered
+        assert "per-domain" in rendered
