@@ -24,7 +24,7 @@ from repro.analysis.rules import ALL_RULES, get_rules
 from repro.analysis.sarif import as_sarif
 
 #: Bump when the --json payload shape changes.
-JSON_SCHEMA_VERSION = 1
+JSON_SCHEMA_VERSION = 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,6 +62,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: all)")
     parser.add_argument("--list-rules", action="store_true",
                         help="list available rules and exit")
+    parser.add_argument("--migrate-baseline", action="store_true",
+                        help="rewrite legacy (v1) baseline entries with "
+                             "current content-anchored fingerprints, in "
+                             "place, then exit")
+    parser.add_argument("--unused-suppressions", action="store_true",
+                        help="also report inline allows that matched no "
+                             "finding (requires the full rule set); any "
+                             "unused allow fails the run")
+    parser.add_argument("--smp-report", metavar="PATH", nargs="?",
+                        const="docs/SMP_READINESS.md",
+                        help="regenerate the SMP001 shared-state report "
+                             "(default: docs/SMP_READINESS.md) and exit")
+    parser.add_argument("--sanitize-run", metavar="WORKLOAD",
+                        help="replay a benchmark workload with the "
+                             "dynamic STATE001/MMU001 sanitizer attached "
+                             "and differentially compare with the static "
+                             "verdict (workloads: mb-suite)")
     return parser
 
 
@@ -80,6 +97,9 @@ def _print_human(report: Report, out) -> None:
         print(f"stale baseline entry {entry.fingerprint} "
               f"({entry.rule} {entry.path}): the finding no longer "
               "exists; remove it from the baseline", file=out)
+    for path, line, rule_id in report.unused_suppressions:
+        print(f"unused suppression {path}:{line}: allow for {rule_id} "
+              "matched no finding; remove it or fix the rule id", file=out)
     status = "clean" if report.clean else "FAILED"
     print(
         f"repro.analysis: {status} — {report.files_checked} files, "
@@ -105,6 +125,7 @@ def _as_json(report: Report, rule_ids: List[str]) -> dict:
                 "col": f.col,
                 "context": f.context,
                 "message": f.message,
+                "snippet": f.snippet,
                 "fingerprint": f.fingerprint,
             }
             for f in report.findings
@@ -131,6 +152,16 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             print(f"{rule.rule_id}  {rule.name}: {rule.summary}", file=out)
         return 0
 
+    if args.sanitize_run is not None:
+        from repro.analysis.sanitize import sanitize_run
+        return sanitize_run(args.sanitize_run, out)
+
+    if args.unused_suppressions and args.rules:
+        print("error: --unused-suppressions needs the full rule set "
+              "(a suppression for an unselected rule would look unused); "
+              "drop --rules", file=out)
+        return 2
+
     try:
         rules = _select_rules(args.rules)
     except KeyError as exc:
@@ -151,6 +182,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     baseline_path = (Path(args.baseline) if args.baseline
                      else config.resolved_baseline())
     analyzer = Analyzer(rules)
+
+    if args.smp_report is not None:
+        return _write_smp_report(paths, config, args.smp_report, out)
+
+    if args.migrate_baseline:
+        return _migrate_baseline(analyzer, paths, config, baseline_path, out)
 
     if args.write_baseline is not None:
         if not args.write_baseline.strip():
@@ -181,7 +218,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return 2
 
     report = analyzer.run(paths, baseline=baseline, root=config.root,
-                          check_only=check_only)
+                          check_only=check_only,
+                          collect_unused=args.unused_suppressions)
     if args.format == "json":
         payload = _as_json(report, [r.rule_id for r in rules])
         print(json.dumps(payload, indent=2), file=out)
@@ -189,4 +227,60 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         print(json.dumps(as_sarif(report, rules), indent=2), file=out)
     else:
         _print_human(report, out)
-    return 0 if report.clean else 1
+    ok = report.clean and not report.unused_suppressions
+    return 0 if ok else 1
+
+
+def _write_smp_report(paths, config, destination: str, out) -> int:
+    """Regenerate docs/SMP_READINESS.md from the current tree."""
+    from repro.analysis.engine import ModuleInfo, _display_path
+    from repro.analysis.flow import ProjectContext
+    from repro.analysis.rules.smp_audit import build_inventory, render_report
+
+    analyzer = Analyzer([])
+    modules = []
+    for file_path in analyzer.discover([Path(p) for p in paths]):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            modules.append(ModuleInfo(
+                file_path, _display_path(file_path, config.root), source))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            print(f"error: cannot parse {file_path}: {exc}", file=out)
+            return 2
+    project = ProjectContext(modules)
+    items = []
+    for mod in modules:
+        items.extend(build_inventory(mod, project))
+    target = Path(destination)
+    if not target.is_absolute() and config.root is not None:
+        target = config.root / target
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_report(items) + "\n", encoding="utf-8")
+    print(f"wrote {len(items)} item(s) to {target}", file=out)
+    return 0
+
+
+def _migrate_baseline(analyzer: Analyzer, paths, config,
+                      baseline_path: Path, out) -> int:
+    """Rewrite legacy fingerprints against the current findings."""
+    try:
+        baseline = Baseline.load(baseline_path)
+    except BaselineError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    legacy = [e for e in baseline.entries if e.version < 2]
+    if not legacy:
+        baseline.save(baseline_path)  # still bumps the file version
+        print(f"{baseline_path}: no legacy entries; file version is "
+              "current", file=out)
+        return 0
+    report = analyzer.run(paths, baseline=None, root=config.root)
+    migrated, unmatched = baseline.migrate(report.findings)
+    migrated.save(baseline_path)
+    print(f"migrated {len(legacy) - len(unmatched)} of {len(legacy)} "
+          f"legacy entr(y/ies) in {baseline_path}", file=out)
+    for entry in unmatched:
+        print(f"  unmatched: {entry.fingerprint} ({entry.rule} "
+              f"{entry.path}) — finding not observed; entry kept as-is",
+              file=out)
+    return 0 if not unmatched else 1

@@ -21,10 +21,16 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 #: Inline suppression syntax.  The reason is mandatory: a bare
 #: ``allow(...)`` with no justification does not suppress anything.
+#: Both ``allow(MMU001)`` and ``allow[MMU001]`` brackets are accepted.
 SUPPRESS_RE = re.compile(
-    r"#\s*repro:\s*allow\(\s*([A-Z]{2,4}\d{3}(?:\s*,\s*[A-Z]{2,4}\d{3})*)\s*\)"
-    r"\s*(?:[—–-]+|:)\s*(\S.*)?$"
+    r"#\s*repro:\s*allow[\(\[]\s*([A-Z]{2,4}\d{3}(?:\s*,\s*[A-Z]{2,4}\d{3})*)"
+    r"\s*[\)\]]\s*(?:[—–-]+|:)\s*(\S.*)?$"
 )
+
+#: A ``repro: allow`` comment with no bracketed rule ids at all — it
+#: would suppress nothing today, but reads like a blanket waiver.
+#: SUP001 flags these.
+BLANKET_RE = re.compile(r"#\s*repro:\s*allow\b(?!\s*[\(\[])")
 
 
 @dataclass(frozen=True)
@@ -37,14 +43,27 @@ class Finding:
     col: int
     message: str
     context: str  # enclosing qualname, e.g. "CloakEngine._encrypt"
+    snippet: str = ""  # whitespace-normalized source of the finding line
 
     @property
     def fingerprint(self) -> str:
         """Location-drift-tolerant identity used by baseline matching.
 
-        Line numbers are deliberately excluded so an unrelated edit
-        higher up in the file does not orphan a baseline entry.
+        Content-anchored (v2): hashes the rule, path, scope, the
+        *normalized source line* and the message — never the line
+        number — so edits above a finding do not orphan its baseline
+        entry, while two identical findings on different source lines
+        still get distinct identities.
         """
+        raw = "|".join((self.rule, self.path, self.context, self.snippet,
+                        self.message))
+        return hashlib.sha256(raw.encode()).hexdigest()[:16]
+
+    @property
+    def legacy_fingerprint(self) -> str:
+        """The v1 (pre-snippet) formula, kept so version-1 baseline
+        entries keep matching until ``--migrate-baseline`` rewrites
+        them."""
         raw = "|".join((self.rule, self.path, self.context, self.message))
         return hashlib.sha256(raw.encode()).hexdigest()[:16]
 
@@ -63,7 +82,8 @@ class ModuleInfo:
         self.lines = source.splitlines()
         self.tree = ast.parse(source, filename=str(path))
         self.module = module_name_for(path)
-        self.suppressions = _parse_suppressions(self.lines)
+        self.suppressions, self.suppression_sources = _parse_suppressions(
+            self.lines)
         self._scope_of: Dict[int, str] = {}
         self._index_scopes()
 
@@ -121,11 +141,43 @@ class ModuleInfo:
     # -- suppressions ---------------------------------------------------------
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
-        return rule_id in self.suppressions.get(line, set())
+        """True iff an inline allow covers ``rule_id`` at ``line``.
+
+        Matching also marks the covering suppression comment(s) as
+        *used*, which feeds the ``--unused-suppressions`` check.
+        """
+        if rule_id not in self.suppressions.get(line, set()):
+            return False
+        for sup in self.suppression_sources:
+            if rule_id in sup.rules and line in sup.targets:
+                sup.used.add(rule_id)
+        return True
+
+    def unused_suppressions(self) -> List["Suppression"]:
+        """Suppression comments with at least one rule id that matched
+        no finding in the last run (meaningful only after a run with
+        the full rule set)."""
+        return [sup for sup in self.suppression_sources
+                if set(sup.rules) - sup.used]
 
 
-def _parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
-    """Map line number -> rule ids allowed there.
+class Suppression:
+    """One inline ``# repro: allow(...)`` comment, with usage tracking."""
+
+    __slots__ = ("origin_line", "rules", "targets", "used")
+
+    def __init__(self, origin_line: int, rules: Tuple[str, ...],
+                 targets: Set[int]):
+        self.origin_line = origin_line
+        self.rules = rules
+        self.targets = targets
+        self.used: Set[str] = set()
+
+
+def _parse_suppressions(lines: Sequence[str]
+                        ) -> Tuple[Dict[int, Set[str]], List["Suppression"]]:
+    """Map line number -> rule ids allowed there, plus per-comment
+    :class:`Suppression` records for usage tracking.
 
     A suppression on a comment-only line applies to the first code line
     below it (skipping the rest of the comment block and blank lines),
@@ -133,11 +185,13 @@ def _parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
     offending statement.
     """
     table: Dict[int, Set[str]] = {}
+    sources: List[Suppression] = []
     for lineno, text in enumerate(lines, start=1):
         match = SUPPRESS_RE.search(text)
         if not match or not match.group(2):
             continue  # no reason given -> the allow is inert
         rules = {r.strip() for r in match.group(1).split(",")}
+        targets = {lineno}
         table.setdefault(lineno, set()).update(rules)
         if text.lstrip().startswith("#"):
             target = lineno + 1
@@ -147,7 +201,9 @@ def _parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
                     break
                 target += 1
             table.setdefault(target, set()).update(rules)
-    return table
+            targets.add(target)
+        sources.append(Suppression(lineno, tuple(sorted(rules)), targets))
+    return table, sources
 
 
 def module_name_for(path: Path) -> str:
@@ -178,6 +234,10 @@ class Report:
     stale_baseline: List["BaselineEntry"] = field(default_factory=list)  # noqa: F821
     files_checked: int = 0
     parse_errors: List[str] = field(default_factory=list)
+    #: (display path, comment line, rule id) for allows that matched no
+    #: finding — populated only when the run asked for it.
+    unused_suppressions: List[Tuple[str, int, str]] = field(
+        default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -201,7 +261,8 @@ class Analyzer:
 
     def run(self, paths: Sequence[Path], baseline: Optional["Baseline"] = None,  # noqa: F821
             root: Optional[Path] = None,
-            check_only: Optional[Set[Path]] = None) -> Report:
+            check_only: Optional[Set[Path]] = None,
+            collect_unused: bool = False) -> Report:
         """Run every rule over every discovered file.
 
         The run is two-phase: all files parse first, then rules check
@@ -244,15 +305,22 @@ class Analyzer:
             for rule in self.rules:
                 for finding in rule.check(mod):
                     seen_fingerprints.add(finding.fingerprint)
+                    seen_fingerprints.add(finding.legacy_fingerprint)
                     if mod.is_suppressed(finding.rule, finding.line):
                         report.suppressed.append(finding)
                     elif baseline is not None and baseline.covers(finding):
                         report.baselined.append(finding)
                     else:
                         report.findings.append(finding)
+            if collect_unused:
+                for sup in mod.unused_suppressions():
+                    for rule_id in sorted(set(sup.rules) - sup.used):
+                        report.unused_suppressions.append(
+                            (mod.display_path, sup.origin_line, rule_id))
         if baseline is not None and check_only is None:
             report.stale_baseline = baseline.stale_entries(seen_fingerprints)
         report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        report.unused_suppressions.sort()
         return report
 
 

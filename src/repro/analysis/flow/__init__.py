@@ -11,13 +11,15 @@ call; when a rule is exercised on a lone module outside an engine run
 same code paths apply, just without cross-module edges.
 """
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.engine import ModuleInfo
-from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.callgraph import CallGraph, FunctionNode
+from repro.analysis.flow.cfg import CFG, build_cfg
 from repro.analysis.flow.taint import TaintAnalysis
 
-__all__ = ["CallGraph", "TaintAnalysis", "ProjectContext"]
+__all__ = ["CallGraph", "TaintAnalysis", "ProjectContext", "CFG",
+           "build_cfg"]
 
 
 class ProjectContext:
@@ -28,6 +30,7 @@ class ProjectContext:
         self._ids = {id(m) for m in self.modules}
         self._callgraph: Optional[CallGraph] = None
         self._taint: Optional[TaintAnalysis] = None
+        self._cfgs: Dict[int, CFG] = {}
 
     def __contains__(self, mod: ModuleInfo) -> bool:
         return id(mod) in self._ids
@@ -43,3 +46,12 @@ class ProjectContext:
         if self._taint is None:
             self._taint = TaintAnalysis(self.callgraph)
         return self._taint
+
+    def cfg_for(self, fn: FunctionNode) -> CFG:
+        """The function's CFG, built once and shared across every rule
+        in the run (MMU001 and STATE001 both walk the same bodies)."""
+        key = id(fn.node)
+        cfg = self._cfgs.get(key)
+        if cfg is None:
+            cfg = self._cfgs[key] = build_cfg(fn.node)
+        return cfg

@@ -31,15 +31,41 @@ def _git_lines(root: Path, *args: str) -> List[str]:
     return [line for line in proc.stdout.splitlines() if line.strip()]
 
 
+def _parse_name_status(lines: List[str]) -> List[str]:
+    """Current-tree paths from ``git diff --name-status -M`` output.
+
+    Each line is ``<status>\\t<path>`` — except renames/copies, which
+    are ``R<score>\\t<old>\\t<new>`` (keep the new path only), and
+    deletions (``D``), which have no current path at all.
+    """
+    out: List[str] = []
+    for line in lines:
+        fields = line.split("\t")
+        if len(fields) < 2:
+            continue
+        status = fields[0]
+        if status.startswith("D"):
+            continue
+        if status[:1] in ("R", "C"):
+            if len(fields) >= 3:
+                out.append(fields[2])
+            continue
+        out.append(fields[1])
+    return out
+
+
 def changed_files(root: Optional[Path], since: str = "HEAD") -> List[Path]:
     """Python files changed relative to ``since``, as resolved paths.
 
-    Includes working-tree modifications against the ref and untracked
-    files; deleted files are naturally excluded (they no longer exist,
-    and the engine only checks files it can read).
+    Uses ``--name-status -M`` rather than ``--name-only`` so renames
+    map to their *new* path and deletions drop out cleanly instead of
+    surfacing as paths that no longer exist.  Untracked files are
+    included; the ``is_file`` guard keeps anything racing the listing
+    out of the result.
     """
     base = (root or Path.cwd()).resolve()
-    names = _git_lines(base, "diff", "--name-only", since, "--")
+    names = _parse_name_status(
+        _git_lines(base, "diff", "--name-status", "-M", since, "--"))
     names += _git_lines(base, "ls-files", "--others", "--exclude-standard")
     out: List[Path] = []
     seen = set()

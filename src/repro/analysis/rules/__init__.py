@@ -9,6 +9,7 @@ fixture-backed positive and negative test under ``tests/analysis/``
 
 from typing import List, Sequence
 
+from repro.analysis.rules.cloak_state import CloakStateRule
 from repro.analysis.rules.cycle_accounting import CycleAccountingRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.exceptions import ExceptionDisciplineRule
@@ -17,6 +18,9 @@ from repro.analysis.rules.obs import ProbeIndirectionRule
 from repro.analysis.rules.perf import PerByteLoopRule
 from repro.analysis.rules.secret_flow import SecretFlowRule, UnsealedPersistRule
 from repro.analysis.rules.secrets import SecretHygieneRule
+from repro.analysis.rules.smp_audit import SmpAuditRule
+from repro.analysis.rules.suppression_hygiene import SuppressionHygieneRule
+from repro.analysis.rules.tlb_coherence import TlbCoherenceRule
 from repro.analysis.rules.trust_boundary import TrustBoundaryRule
 
 ALL_RULES = (
@@ -30,6 +34,10 @@ ALL_RULES = (
     LayeringRule(),
     PerByteLoopRule(),
     ProbeIndirectionRule(),
+    CloakStateRule(),
+    TlbCoherenceRule(),
+    SmpAuditRule(),
+    SuppressionHygieneRule(),
 )
 
 

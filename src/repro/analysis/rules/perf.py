@@ -18,9 +18,8 @@ The rule is scoped to ``repro.hw`` and ``repro.core``: apps and tests
 may loop however they like (their buffers are small and their clarity
 matters more), and the analysis layer never touches page data.
 
-Suppress a deliberate exception inline::
-
-    pairs = [a ^ b for a, b in zip(x, y)]  # repro: allow(PERF001) — 16-byte tag
+Suppress a deliberate exception with a trailing comment of the form
+``repro: allow(PERF001) — 16-byte tag`` on the offending line.
 """
 
 import ast

@@ -1,0 +1,319 @@
+"""SMP001 — inventory every piece of state a second vCPU would race on.
+
+The ROADMAP's SMP refactor needs a work-list, not a vibe: before any
+multi-vCPU change lands, every piece of shared mutable state in the
+hardware and VMM layers must be *known* and *tracked*.  This rule
+builds that inventory mechanically and pins it to
+``docs/SMP_READINESS.md``: an item in the tree but missing from the
+committed report fails tier-1, so the report can never silently rot.
+Regenerate it with ``python -m repro.analysis --smp-report``.
+
+Three item kinds, scoped to ``repro.hw.*`` and ``repro.core.*``:
+
+* **module-global** — module-level names bound to mutable containers
+  or project-class instances (``_derive_memo = _Memo()``).  ALL_CAPS
+  names bound to *literal* containers are treated as
+  constants-by-convention and skipped; instances are never skipped.
+* **class-attr** — mutable containers in a class body: one object
+  shared by every instance on every vCPU.
+* **aliasing** — a ``TLBEntry``/``PageMetadata`` local that escapes a
+  function more than once (returned *and* stored/passed), creating two
+  live references to one mutable record — exactly what a per-vCPU TLB
+  split would have to reconcile.
+
+Everything is derived deterministically from the AST (no line numbers
+in keys or in the report), so the report only changes when the state
+inventory actually changes.
+"""
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.engine import Finding, ModuleInfo
+from repro.analysis.rules.base import Rule, dotted_name
+
+SCOPE_PREFIXES = ("repro.hw.", "repro.core.")
+
+REPORT_PATH = Path("docs") / "SMP_READINESS.md"
+
+#: stdlib factories producing mutable containers.
+MUTABLE_FACTORIES = frozenset({
+    "dict", "list", "set", "bytearray", "OrderedDict", "defaultdict",
+    "deque", "Counter",
+})
+
+#: Mutable-record classes whose aliasing across objects we audit.
+ALIAS_CLASS_NAMES = frozenset({"TLBEntry", "PageMetadata"})
+
+_CONST_NAME_RE = re.compile(r"^_?[A-Z][A-Z0-9_]*$")
+
+
+class Item:
+    """One inventory entry; ``key`` is its stable identity."""
+
+    __slots__ = ("key", "kind", "detail", "node")
+
+    def __init__(self, key: str, kind: str, detail: str,
+                 node: Optional[ast.AST] = None):
+        self.key = key
+        self.kind = kind      # "module-global" | "class-attr" | "aliasing"
+        self.detail = detail
+        self.node = node
+
+
+# ----------------------------------------------------------------------
+# inventory construction
+# ----------------------------------------------------------------------
+
+def _mutable_value_kind(value: ast.AST,
+                        own_classes: Set[str]) -> Optional[str]:
+    """"literal", "factory", "instance" for a mutable binding, else None."""
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                          ast.ListComp, ast.SetComp)):
+        return "literal"
+    if isinstance(value, ast.Call):
+        name = dotted_name(value.func)
+        if name is None:
+            return None
+        tail = name.rsplit(".", 1)[-1]
+        if tail in MUTABLE_FACTORIES:
+            return "factory"
+        if tail in own_classes:
+            return "instance"
+    return None
+
+
+def _own_class_names(tree: ast.Module) -> Set[str]:
+    return {stmt.name for stmt in tree.body
+            if isinstance(stmt, ast.ClassDef)}
+
+
+def _module_globals(mod: ModuleInfo) -> Iterable[Item]:
+    own_classes = _own_class_names(mod.tree)
+    for stmt in mod.tree.body:
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = stmt.value
+        if value is None:
+            continue
+        kind = _mutable_value_kind(value, own_classes)
+        if kind is None:
+            continue
+        targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                   else [stmt.target])
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            if name.startswith("__") and name.endswith("__"):
+                continue
+            if kind != "instance" and _CONST_NAME_RE.match(name):
+                continue  # constant by convention; instances never are
+            what = (f"`{dotted_name(value.func)}(...)` instance"
+                    if kind == "instance"
+                    else "mutable container")
+            yield Item(
+                f"{mod.module}:{name}", "module-global",
+                f"{what} at module scope — one object shared by every "
+                "vCPU; needs a lock, per-CPU split, or freeze",
+                stmt)
+
+
+def _class_attrs(mod: ModuleInfo) -> Iterable[Item]:
+    own_classes = _own_class_names(mod.tree)
+    for cls in mod.tree.body:
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = stmt.value
+            if value is None:
+                continue
+            kind = _mutable_value_kind(value, own_classes)
+            if kind is None:
+                continue
+            targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                       else [stmt.target])
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.startswith("__") and name.endswith("__"):
+                    continue
+                if kind != "instance" and _CONST_NAME_RE.match(name):
+                    continue
+                yield Item(
+                    f"{mod.module}:{cls.name}.{name}", "class-attr",
+                    "mutable class attribute — shared by every instance, "
+                    "so by every vCPU touching the class",
+                    stmt)
+
+
+def _walk_pruned(root: ast.AST):
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _aliasing(mod: ModuleInfo, project) -> Iterable[Item]:
+    cg = project.callgraph
+    for fn in cg.functions_in(mod):
+        tracked: Set[str] = set()
+        for name, cls_key in fn.param_types.items():
+            if cls_key[1].rsplit(".", 1)[-1] in ALIAS_CLASS_NAMES:
+                tracked.add(name)
+        for sub in _walk_pruned(fn.node):
+            if (isinstance(sub, ast.Assign) and len(sub.targets) == 1
+                    and isinstance(sub.targets[0], ast.Name)
+                    and isinstance(sub.value, ast.Call)):
+                callee_name = dotted_name(sub.value.func)
+                if callee_name is not None and callee_name.rsplit(
+                        ".", 1)[-1] in ALIAS_CLASS_NAMES:
+                    tracked.add(sub.targets[0].id)
+                    continue
+                site = fn.site_for(sub.value)
+                if site is not None and site.callee is not None:
+                    ret = cg.functions[site.callee].return_type
+                    if ret is not None and ret[1].rsplit(
+                            ".", 1)[-1] in ALIAS_CLASS_NAMES:
+                        tracked.add(sub.targets[0].id)
+        if not tracked:
+            continue
+        escapes: Dict[str, List[str]] = {name: [] for name in tracked}
+        for sub in _walk_pruned(fn.node):
+            if isinstance(sub, ast.Return) and isinstance(
+                    sub.value, ast.Name) and sub.value.id in tracked:
+                escapes[sub.value.id].append("return")
+            elif isinstance(sub, ast.Call):
+                for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+                    if isinstance(arg, ast.Name) and arg.id in tracked:
+                        escapes[arg.id].append("call-arg")
+            elif isinstance(sub, ast.Assign):
+                if not (isinstance(sub.value, ast.Name)
+                        and sub.value.id in tracked):
+                    continue
+                for target in sub.targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        escapes[sub.value.id].append("store")
+        for name in sorted(tracked):
+            kinds = escapes[name]
+            if len(kinds) >= 2 and ("return" in kinds or "store" in kinds):
+                yield Item(
+                    f"{mod.module}:{fn.qualname}:{name}", "aliasing",
+                    "mutable record escapes via "
+                    + " + ".join(sorted(set(kinds)))
+                    + " — two live references to one entry; a per-vCPU "
+                    "split must reconcile or copy",
+                    fn.node)
+
+
+def build_inventory(mod: ModuleInfo, project) -> List[Item]:
+    """All SMP001 items for one module, sorted by key."""
+    if not mod.module.startswith(SCOPE_PREFIXES):
+        return []
+    items = list(_module_globals(mod))
+    items += list(_class_attrs(mod))
+    items += list(_aliasing(mod, project))
+    items.sort(key=lambda item: item.key)
+    return items
+
+
+# ----------------------------------------------------------------------
+# the report
+# ----------------------------------------------------------------------
+
+_SECTIONS = (
+    ("module-global", "Module-level mutable state"),
+    ("class-attr", "Mutable class attributes"),
+    ("aliasing", "Cross-object aliasing of frames/TLB entries"),
+)
+
+
+def render_report(items: Iterable[Item]) -> str:
+    """Deterministic markdown for ``docs/SMP_READINESS.md``."""
+    by_kind: Dict[str, List[Item]] = {kind: [] for kind, _ in _SECTIONS}
+    for item in items:
+        by_kind.setdefault(item.kind, []).append(item)
+    lines = [
+        "# SMP readiness: shared mutable state audit",
+        "",
+        "Generated by `python -m repro.analysis --smp-report`; do not",
+        "edit by hand.  SMP001 fails tier-1 whenever shared mutable",
+        "state exists in `repro.hw`/`repro.core` without an entry here,",
+        "so this file is the authoritative work-list for the multi-vCPU",
+        "refactor (ROADMAP): every item below must become locked,",
+        "per-CPU, or immutable before SMP lands.",
+        "",
+    ]
+    for kind, title in _SECTIONS:
+        lines.append(f"## {title}")
+        lines.append("")
+        section = sorted(by_kind.get(kind, []), key=lambda i: i.key)
+        if not section:
+            lines.append("_(none found)_")
+        else:
+            for item in section:
+                lines.append(f"- `{item.key}` — {item.detail}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the rule
+# ----------------------------------------------------------------------
+
+class SmpAuditRule(Rule):
+    rule_id = "SMP001"
+    name = "smp-shared-state"
+    summary = ("shared mutable state in hw/core must be inventoried in "
+               "docs/SMP_READINESS.md")
+
+    def __init__(self):
+        self._project = None
+        self._report_cache: Dict[Path, Optional[str]] = {}
+
+    def begin_project(self, project) -> None:
+        self._project = project
+        self._report_cache = {}
+
+    def _project_for(self, mod: ModuleInfo):
+        if self._project is not None and mod in self._project:
+            return self._project
+        from repro.analysis.flow import ProjectContext
+        return ProjectContext([mod])
+
+    def _report_text(self, mod: ModuleInfo) -> Optional[str]:
+        """Committed report for the tree ``mod`` belongs to, or None."""
+        probe = mod.path.resolve().parent
+        for candidate in (probe, *probe.parents):
+            if candidate in self._report_cache:
+                return self._report_cache[candidate]
+            if (candidate / "pyproject.toml").is_file():
+                report = candidate / REPORT_PATH
+                text = (report.read_text(encoding="utf-8")
+                        if report.is_file() else None)
+                self._report_cache[candidate] = text
+                return text
+        return None
+
+    def check(self, mod: ModuleInfo) -> Iterable[Finding]:
+        items = build_inventory(mod, self._project_for(mod))
+        if not items:
+            return
+        text = self._report_text(mod)
+        for item in items:
+            if text is not None and f"`{item.key}`" in text:
+                continue
+            yield self.finding(
+                mod, item.node if item.node is not None else mod.tree,
+                f"{item.kind} shared state `{item.key}` is not inventoried "
+                "in docs/SMP_READINESS.md — regenerate it with "
+                "`python -m repro.analysis --smp-report`")

@@ -18,7 +18,7 @@ SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
                 "master/Schemata/sarif-schema-2.1.0.json")
 
 #: Key under partialFingerprints; bump with Finding.fingerprint changes.
-FINGERPRINT_KEY = "reproAnalysis/v1"
+FINGERPRINT_KEY = "reproAnalysis/v2"
 
 
 def as_sarif(report: Report, rules: Sequence[object]) -> dict:

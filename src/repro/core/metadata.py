@@ -20,6 +20,7 @@ import enum
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.crypto import IV_LEN, MAC_LEN
+from repro.obs import bus
 
 
 class CloakState(enum.Enum):
@@ -193,6 +194,8 @@ class MetadataStore:
         if md is not None and md.resident_gpfn is not None:
             if self._plaintext_frames.get(md.resident_gpfn) is md:
                 del self._plaintext_frames[md.resident_gpfn]
+        if md is not None and bus.ACTIVE:
+            bus.cloak_discard(owner_id, vpn)
 
     # -- plaintext frame tracking ---------------------------------------------
 

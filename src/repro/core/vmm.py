@@ -216,8 +216,12 @@ class VMM(TranslationAuthority):
 
     def _invalidate_frame_mappings(self, gpfn: int) -> None:
         """A frame's cloak state changed: purge every stale mapping."""
+        dropped = 0
         for asid, view, vpn in self.shadows.invalidate_frame(gpfn):
             self._mmu.invalidate_page(vpn, asid=asid)
+            dropped += 1
+        if bus.ACTIVE:
+            bus.vmm_coherence(gpfn, dropped)
 
     # ------------------------------------------------------------------
     # guest architectural events (observed, not trusted)
@@ -336,6 +340,10 @@ class VMM(TranslationAuthority):
             self._cycles.charge("vmm", self._costs.ctc_save)
             self.stats.bump("vmm.cloaked_exits")
             if self.config.eager_reencrypt:
+                # repro: allow[MMU001] — the loop below invalidates the
+                # frame mappings of every resident page; the only path
+                # that skips it is zero iterations, i.e. no resident
+                # pages, so there is nothing stale to invalidate.
                 self.cloak.encrypt_all_plaintext(domain_id)
                 # Eager mode invalidates wholesale; cheap to be exact:
                 for md in self.metadata.pages():

@@ -103,6 +103,9 @@ class SoftwareTLB:
         ]
         for key in victims:
             del self._entries[key]
+        if bus.ACTIVE:
+            bus.tlb_invalidate(-1 if asid is None else asid, vpn,
+                               len(victims))
         return len(victims)
 
     def invalidate_asid(self, asid: int) -> int:

@@ -54,18 +54,25 @@ PROBES: Dict[str, Tuple[str, ...]] = {
     "vmm.hypercall": ("number",),
     "vmm.shadow_fill": ("asid", "view", "vpn", "gpfn"),
     "vmm.violation": ("pid", "kind"),
+    # shadow-mapping drops after a frame's cloak visibility changed
+    # ("dropped" = mappings invalidated for the frame)
+    "vmm.coherence": ("gpfn", "dropped"),
     # core/cloak: the five transition kinds, with their ledger cost
     "cloak.zero_fill": ("owner", "vpn", "gpfn", "cost"),
     "cloak.decrypt": ("owner", "vpn", "gpfn", "cost"),
     "cloak.encrypt": ("owner", "vpn", "gpfn", "cost"),
     "cloak.ct_restore": ("owner", "vpn", "gpfn", "cost"),
     "cloak.dirty_upgrade": ("owner", "vpn"),
+    # page metadata discarded (uncloak/unbind/scrub): its lifecycle ends
+    "cloak.discard": ("owner", "vpn"),
     # core/shim: marshalled syscalls
     "shim.marshal": ("syscall",),
     # hw/mmu + hw/tlb: fills, evictions, aggregated fast-path hits
     "tlb.fill": ("asid", "view", "vpn"),
     "tlb.evict": ("asid", "view", "vpn"),
     "tlb.hits": ("hits", "misses"),
+    # explicit single-page invalidation (asid -1 = all address spaces)
+    "tlb.invalidate": ("asid", "vpn", "dropped"),
     # hw/disk: DMA block transfers
     "disk.read": ("lba",),
     "disk.write": ("lba",),

@@ -1,0 +1,105 @@
+"""STATE001: the cloak-state lattice rule.
+
+Includes the mutation test from the PR's acceptance criteria: insert
+an illegal transition into a copy of the real transition engine and
+watch the rule catch it.
+"""
+
+import shutil
+from pathlib import Path
+
+import repro
+from repro.analysis.rules.cloak_state import (ALLOWED, STATES,
+                                              CloakStateRule)
+from repro.core.metadata import CloakState
+
+from tests.analysis.conftest import check
+
+SRC_REPRO = Path(repro.__file__).resolve().parent
+
+
+def test_states_mirror_the_real_enum():
+    """The rule's lattice is a mirror of repro.core.metadata.CloakState;
+    this pin fails if the enum gains/loses/renames a member without the
+    rule being updated."""
+    assert set(STATES) == {member.name for member in CloakState}
+    assert set(ALLOWED) == set(STATES)
+    for source, targets in ALLOWED.items():
+        assert targets <= set(STATES)
+        assert source not in targets  # self-loops are implicit
+
+
+def test_illegal_transition_in_trusted_module_fires(tree):
+    """Mutation test: ENCRYPTED -> PLAINTEXT_DIRTY skips the decrypt
+    step — a real copy of cloak.py with that edge added must trip
+    STATE001."""
+    target = tree.root / "repro" / "core" / "cloak.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copy(SRC_REPRO / "core" / "cloak.py", target)
+    target.write_text(
+        target.read_text(encoding="utf-8") + (
+            "\n\ndef _skip_decrypt(md):\n"
+            "    if md.state is CloakState.ENCRYPTED:\n"
+            "        md.state = CloakState.PLAINTEXT_DIRTY\n"),
+        encoding="utf-8")
+    report = tree.run([CloakStateRule()])
+    assert any(f.rule == "STATE001"
+               and "ENCRYPTED -> PLAINTEXT_DIRTY" in f.message
+               for f in report.findings), \
+        [f.render() for f in report.findings]
+
+
+def test_real_cloak_engine_is_clean(tree):
+    target = tree.root / "repro" / "core" / "cloak.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copy(SRC_REPRO / "core" / "cloak.py", target)
+    report = tree.run([CloakStateRule()])
+    assert [f.render() for f in report.findings] == []
+
+
+def test_legal_guarded_transition_passes(tree):
+    mod = tree.module("repro/core/cloak.py", """\
+        from repro.core.metadata import CloakState
+
+        def ok(md):
+            if md.state is CloakState.PLAINTEXT_DIRTY:
+                md.state = CloakState.ENCRYPTED
+        """)
+    assert check(CloakStateRule(), mod) == []
+
+
+def test_unknown_prior_state_is_trusted(tree):
+    """A write whose source state the function cannot know is the
+    caller's responsibility — no finding."""
+    mod = tree.module("repro/core/cloak.py", """\
+        from repro.core.metadata import CloakState
+
+        def adopt(md):
+            md.state = CloakState.ENCRYPTED
+        """)
+    assert check(CloakStateRule(), mod) == []
+
+
+def test_state_write_outside_tcb_fires(tree):
+    mod = tree.module("repro/guestos/evil.py", """\
+        from repro.core.metadata import CloakState
+
+        def leak(md):
+            md.state = CloakState.PLAINTEXT_CLEAN
+        """)
+    findings = check(CloakStateRule(), mod)
+    assert len(findings) == 1
+    assert "outside the cloaking TCB" in findings[0].message
+
+
+def test_constructor_then_illegal_write_fires(tree):
+    mod = tree.module("repro/core/metadata.py", """\
+        from repro.core.metadata import CloakState, PageMetadata
+
+        def bad():
+            md = PageMetadata(1, 2, 3)
+            md.state = CloakState.PLAINTEXT_CLEAN
+        """)
+    findings = check(CloakStateRule(), mod)
+    assert len(findings) == 1
+    assert "FRESH -> PLAINTEXT_CLEAN" in findings[0].message

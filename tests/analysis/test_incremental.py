@@ -1,0 +1,76 @@
+"""``--changed-only`` file discovery: renames, deletions, untracked."""
+
+import subprocess
+
+import pytest
+
+from repro.analysis.incremental import (IncrementalError, _parse_name_status,
+                                        changed_files)
+
+
+def test_parse_name_status_plain_statuses():
+    lines = ["M\trepro/hw/tlb.py", "A\trepro/core/new.py"]
+    assert _parse_name_status(lines) == [
+        "repro/hw/tlb.py", "repro/core/new.py"]
+
+
+def test_parse_name_status_drops_deletions():
+    assert _parse_name_status(["D\trepro/hw/gone.py",
+                               "M\trepro/hw/tlb.py"]) == ["repro/hw/tlb.py"]
+
+
+def test_parse_name_status_rename_takes_new_path():
+    lines = ["R097\trepro/hw/old.py\trepro/hw/new.py"]
+    assert _parse_name_status(lines) == ["repro/hw/new.py"]
+
+
+def test_parse_name_status_copy_takes_destination():
+    lines = ["C075\trepro/hw/a.py\trepro/hw/b.py"]
+    assert _parse_name_status(lines) == ["repro/hw/b.py"]
+
+
+def test_parse_name_status_skips_malformed_lines():
+    assert _parse_name_status(["garbage-without-tab"]) == []
+
+
+def _git(root, *args):
+    subprocess.run(
+        ["git", "-C", str(root), "-c", "user.email=t@t", "-c",
+         "user.name=t", *args],
+        check=True, capture_output=True)
+
+
+@pytest.fixture
+def repo(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "old.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "gone.py").write_text("y = 2\n")
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", "-A")
+    _git(tmp_path, "commit", "-qm", "seed")
+    return tmp_path
+
+
+def test_changed_files_survives_rename_and_delete(repo):
+    """The regression this PR fixes: a rename used to surface the OLD
+    path (which no longer exists) and a deletion surfaced a ghost."""
+    _git(repo, "mv", "pkg/old.py", "pkg/renamed.py")
+    _git(repo, "rm", "-q", "pkg/gone.py")
+    changed = changed_files(repo)
+    names = [p.name for p in changed]
+    assert names == ["renamed.py"]
+
+
+def test_changed_files_includes_untracked(repo):
+    (repo / "pkg" / "fresh.py").write_text("z = 3\n")
+    assert [p.name for p in changed_files(repo)] == ["fresh.py"]
+
+
+def test_changed_files_ignores_non_python(repo):
+    (repo / "pkg" / "notes.txt").write_text("hi\n")
+    assert changed_files(repo) == []
+
+
+def test_bad_ref_raises_incremental_error(repo):
+    with pytest.raises(IncrementalError):
+        changed_files(repo, "no-such-ref")

@@ -1,0 +1,121 @@
+"""SMP001: the shared-mutable-state inventory and its pinned report."""
+
+from pathlib import Path
+
+import repro
+from repro.analysis.cli import main as cli_main
+from repro.analysis.engine import ModuleInfo
+from repro.analysis.flow import ProjectContext
+from repro.analysis.rules.smp_audit import (SmpAuditRule, build_inventory,
+                                            render_report)
+
+from tests.analysis.conftest import check
+
+REPO_ROOT = Path(repro.__file__).resolve().parent.parent.parent
+
+
+def inventory(tree, relpath, source):
+    mod = tree.module(relpath, source)
+    return mod, build_inventory(mod, ProjectContext([mod]))
+
+
+def test_module_global_mutable_container_is_inventoried(tree):
+    _mod, items = inventory(tree, "repro/core/memo.py", """\
+        _cache = {}
+        """)
+    assert [(i.key, i.kind) for i in items] == [
+        ("repro.core.memo:_cache", "module-global")]
+
+
+def test_const_named_literal_is_skipped_but_instance_is_not(tree):
+    _mod, items = inventory(tree, "repro/hw/tables.py", """\
+        COST_TABLE = {"hit": 1}
+
+        class Engine:
+            pass
+
+        ENGINE = Engine()
+        """)
+    # ALL_CAPS + literal container = constant by convention; an
+    # *instance* is mutable no matter how it is named.
+    assert [i.key for i in items] == ["repro.hw.tables:ENGINE"]
+
+
+def test_mutable_class_attribute_is_inventoried(tree):
+    _mod, items = inventory(tree, "repro/hw/tlb.py", """\
+        class TLB:
+            shared_victims = []
+        """)
+    assert [(i.key, i.kind) for i in items] == [
+        ("repro.hw.tlb:TLB.shared_victims", "class-attr")]
+
+
+def test_aliasing_requires_two_escapes_with_return_or_store(tree):
+    source = """\
+        class PageMetadata:
+            pass
+
+        class Store:
+            def get_or_create(self, key):
+                md = PageMetadata()
+                self._index[key] = md
+                return md
+
+            def only_returns(self, key):
+                md = PageMetadata()
+                return md
+        """
+    _mod, items = inventory(tree, "repro/core/meta.py", source)
+    assert [(i.key, i.kind) for i in items] == [
+        ("repro.core.meta:Store.get_or_create:md", "aliasing")]
+
+
+def test_outside_scope_prefixes_is_ignored(tree):
+    _mod, items = inventory(tree, "repro/guestos/kern.py", """\
+        _cache = {}
+        """)
+    assert items == []
+
+
+def test_rule_fires_without_committed_report(tree):
+    mod = tree.module("repro/core/memo.py", "_cache = {}\n")
+    findings = check(SmpAuditRule(), mod)
+    assert len(findings) == 1
+    assert "repro.core.memo:_cache" in findings[0].message
+
+
+def test_render_report_is_deterministic_and_sectioned(tree):
+    mod, items = inventory(tree, "repro/core/memo.py", """\
+        _cache = {}
+
+        class Pool:
+            slots = []
+        """)
+    text = render_report(items)
+    assert text == render_report(list(items))
+    assert "## Module-level mutable state" in text
+    assert "- `repro.core.memo:_cache`" in text
+    assert "- `repro.core.memo:Pool.slots`" in text
+    assert "_(none found)_" in text  # the aliasing section is empty
+
+
+def test_committed_report_is_fresh(tmp_path):
+    """Regenerating the report over src/repro must reproduce the
+    committed docs/SMP_READINESS.md byte for byte — the file can only
+    change together with the state inventory."""
+    import io
+    import os
+
+    out = io.StringIO()
+    regenerated = tmp_path / "SMP_READINESS.md"
+    cwd = os.getcwd()
+    os.chdir(REPO_ROOT)
+    try:
+        code = cli_main([str(REPO_ROOT / "src" / "repro"),
+                         "--smp-report", str(regenerated)], out=out)
+    finally:
+        os.chdir(cwd)
+    assert code == 0, out.getvalue()
+    committed = (REPO_ROOT / "docs" / "SMP_READINESS.md").read_text(
+        encoding="utf-8")
+    assert regenerated.read_text(encoding="utf-8") == committed

@@ -68,7 +68,9 @@ def test_allow_without_reason_is_inert(tree):
         t = time.time()  # repro: allow(DET001)
         """)
     report = run_all(tree)
-    assert len(report.findings) == 1
+    # The reason-less allow suppresses nothing, so DET001 still fires —
+    # and SUP001 flags the inert comment itself.
+    assert sorted(f.rule for f in report.findings) == ["DET001", "SUP001"]
 
 
 def test_allow_only_covers_named_rule(tree):
@@ -99,10 +101,38 @@ def test_parse_suppressions_table():
         "# repro: allow(CYC001) : colon separator works",
         "y = 2",
     ]
-    table = _parse_suppressions(lines)
+    table, sources = _parse_suppressions(lines)
     assert table[1] == {"TB001"}
     assert "CYC001" in table[2]  # the comment line itself
     assert "CYC001" in table[3]  # ...and the code line below
+    assert [s.origin_line for s in sources] == [1, 2]
+    assert sources[1].targets == {2, 3}
+
+
+def test_bracket_spelling_suppresses(tree):
+    """``allow[RULE]`` square brackets are equivalent to parentheses."""
+    tree.write("repro/hw/clock5.py", """\
+        import time
+        t = time.time()  # repro: allow[DET001] — bracket spelling
+        """)
+    report = run_all(tree)
+    assert report.findings == []
+    assert len(report.suppressed) == 1
+
+
+def test_unused_suppression_is_collected(tree):
+    tree.write("repro/hw/fine.py", """\
+        # repro: allow(DET001) — nothing here actually violates DET001
+        x = 1
+        """)
+    from repro.analysis.rules import get_rules
+    report = tree.run(get_rules())
+    assert report.unused_suppressions == []  # not collected by default
+    from repro.analysis.engine import Analyzer
+    report = Analyzer(get_rules()).run([tree.root], root=tree.root,
+                                       collect_unused=True)
+    assert [(line, rule) for _p, line, rule in report.unused_suppressions] \
+        == [(1, "DET001")]
 
 
 def test_real_tree_suppressions_are_justified():

@@ -1,0 +1,149 @@
+"""MMU001: PTE/cloak mutations post-dominated by TLB invalidation.
+
+Includes the mutation test from the PR's acceptance criteria: delete
+the ``invlpg`` after the real guest's pagetable ``map`` and watch the
+rule catch the stale-TLB window.
+"""
+
+import shutil
+from pathlib import Path
+
+import repro
+from repro.analysis.rules.tlb_coherence import TlbCoherenceRule
+
+from tests.analysis.conftest import check
+
+SRC_REPRO = Path(repro.__file__).resolve().parent
+
+
+def _copy_process(tree):
+    target = tree.root / "repro" / "guestos" / "process.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copy(SRC_REPRO / "guestos" / "process.py", target)
+    return target
+
+
+def test_deleting_invlpg_after_map_fires(tree):
+    """Mutation test: the real AddressSpace.map_page with its flush
+    removed leaves a stale translation live."""
+    target = _copy_process(tree)
+    source = target.read_text(encoding="utf-8")
+    flush = "        self._invlpg(self.asid, vpn)\n"
+    assert source.count(flush) >= 3  # map/protect/unmap each flush
+    target.write_text(source.replace(flush, "", 1), encoding="utf-8")
+    report = tree.run([TlbCoherenceRule()])
+    assert any(f.rule == "MMU001" and "`map`" in f.message
+               for f in report.findings), \
+        [f.render() for f in report.findings]
+
+
+def test_real_process_module_is_clean(tree):
+    _copy_process(tree)
+    report = tree.run([TlbCoherenceRule()])
+    assert [f.render() for f in report.findings] == []
+
+
+def test_early_return_between_write_and_flush_fires(tree):
+    mod = tree.module("repro/guestos/paging.py", """\
+        class Pager:
+            def remap(self, walker, root, vpn, pfn):
+                walker.map(root, vpn, pfn, True)
+                if pfn == 0:
+                    return False
+                self.invlpg(vpn)
+                return True
+        """)
+    findings = check(TlbCoherenceRule(), mod)
+    assert len(findings) == 1
+    assert "`map`" in findings[0].message
+
+
+def test_flush_on_every_path_passes(tree):
+    mod = tree.module("repro/guestos/paging.py", """\
+        class Pager:
+            def remap(self, walker, root, vpn, pfn):
+                walker.map(root, vpn, pfn, True)
+                self.invlpg(vpn)
+                if pfn == 0:
+                    return False
+                return True
+        """)
+    assert check(TlbCoherenceRule(), mod) == []
+
+
+def test_flush_in_both_branches_passes(tree):
+    mod = tree.module("repro/guestos/paging.py", """\
+        class Pager:
+            def remap(self, walker, root, vpn, pfn):
+                walker.unmap(root, vpn)
+                if pfn == 0:
+                    self.invalidate_page(vpn)
+                else:
+                    self.flush_all()
+        """)
+    # Neither branch's invalidation post-dominates alone; findings stay
+    # away only when one block covers all paths — so this DOES fire:
+    # it is exactly the over-approximation documented in the rule, and
+    # the fix (hoist or funnel) is cheap.  Pin the behaviour.
+    findings = check(TlbCoherenceRule(), mod)
+    assert len(findings) == 1
+
+
+def test_delegation_to_flushing_caller_passes(tree):
+    mod = tree.module("repro/guestos/paging.py", """\
+        class Pager:
+            def _install(self, walker, root, vpn, pfn):
+                walker.map(root, vpn, pfn, True)
+
+            def remap(self, walker, root, vpn, pfn):
+                self._install(walker, root, vpn, pfn)
+                self.invlpg(vpn)
+        """)
+    assert check(TlbCoherenceRule(), mod) == []
+
+
+def test_delegation_fails_when_any_caller_skips_flush(tree):
+    mod = tree.module("repro/guestos/paging.py", """\
+        class Pager:
+            def _install(self, walker, root, vpn, pfn):
+                walker.map(root, vpn, pfn, True)
+
+            def good(self, walker, root, vpn, pfn):
+                self._install(walker, root, vpn, pfn)
+                self.invlpg(vpn)
+
+            def bad(self, walker, root, vpn, pfn):
+                self._install(walker, root, vpn, pfn)
+        """)
+    findings = check(TlbCoherenceRule(), mod)
+    assert len(findings) == 1
+    assert findings[0].context == "Pager._install"
+
+
+def test_zero_callers_is_no_discharge(tree):
+    mod = tree.module("repro/guestos/paging.py", """\
+        class Pager:
+            def orphan(self, walker, root, vpn, pfn):
+                walker.map(root, vpn, pfn, True)
+        """)
+    assert len(check(TlbCoherenceRule(), mod)) == 1
+
+
+def test_pagetable_module_is_exempt(tree):
+    mod = tree.module("repro/hw/pagetable.py", """\
+        class PageTableWalker:
+            def map(self, root, vpn, pfn, writable):
+                self.write_entry(root, vpn, pfn)
+        """)
+    assert check(TlbCoherenceRule(), mod) == []
+
+
+def test_inline_justification_suppresses(tree):
+    mod = tree.module("repro/guestos/paging.py", """\
+        class Pager:
+            def remap(self, walker, root, vpn, pfn):
+                # repro: allow[MMU001] — single-vCPU bring-up path; the
+                # TLB is reset wholesale before the next dispatch.
+                walker.map(root, vpn, pfn, True)
+        """)
+    assert check(TlbCoherenceRule(), mod) == []
