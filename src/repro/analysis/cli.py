@@ -24,7 +24,7 @@ from repro.analysis.rules import ALL_RULES, get_rules
 from repro.analysis.sarif import as_sarif
 
 #: Bump when the --json payload shape changes.
-JSON_SCHEMA_VERSION = 2
+JSON_SCHEMA_VERSION = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,8 +76,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: docs/SMP_READINESS.md) and exit")
     parser.add_argument("--sanitize-run", metavar="WORKLOAD",
                         help="replay a benchmark workload with the "
-                             "dynamic STATE001/MMU001 sanitizer attached "
-                             "and differentially compare with the static "
+                             "dynamic STATE001/MMU001 sanitizer and the "
+                             "Eraser-style lockset checker attached and "
+                             "differentially compare with the static "
                              "verdict (workloads: mb-suite)")
     return parser
 
@@ -127,6 +128,9 @@ def _as_json(report: Report, rule_ids: List[str]) -> dict:
                 "message": f.message,
                 "snippet": f.snippet,
                 "fingerprint": f.fingerprint,
+                # schema v3: interprocedural witness chain (LOCK001
+                # cycles); empty for single-site findings.
+                "witness": list(f.trace),
             }
             for f in report.findings
         ],

@@ -10,6 +10,8 @@ fixture-backed positive and negative test under ``tests/analysis/``
 from typing import List, Sequence
 
 from repro.analysis.rules.cloak_state import CloakStateRule
+from repro.analysis.rules.concurrency import (AtomicityRule, LockOrderRule,
+                                              LocksetRaceRule)
 from repro.analysis.rules.cycle_accounting import CycleAccountingRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.exceptions import ExceptionDisciplineRule
@@ -37,6 +39,9 @@ ALL_RULES = (
     CloakStateRule(),
     TlbCoherenceRule(),
     SmpAuditRule(),
+    LocksetRaceRule(),
+    LockOrderRule(),
+    AtomicityRule(),
     SuppressionHygieneRule(),
 )
 

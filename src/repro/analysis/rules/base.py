@@ -16,7 +16,8 @@ class Rule:
     def check(self, mod: ModuleInfo):
         raise NotImplementedError
 
-    def finding(self, mod: ModuleInfo, node: ast.AST, message: str) -> Finding:
+    def finding(self, mod: ModuleInfo, node: ast.AST, message: str,
+                trace: tuple = ()) -> Finding:
         line = getattr(node, "lineno", 1)
         snippet = ""
         if 1 <= line <= len(mod.lines):
@@ -29,6 +30,7 @@ class Rule:
             message=message,
             context=mod.qualname_at(node),
             snippet=snippet,
+            trace=tuple(trace),
         )
 
 

@@ -1,0 +1,653 @@
+"""RACE001 / LOCK001 / ATOM001 — the concurrency discipline checkers.
+
+The UP simulator runs one vCPU, so today no interleaving can actually
+corrupt anything — which is exactly when locking discipline rots
+silently.  These rules make the discipline *checkable now*, so the SMP
+refactor (ROADMAP) inherits code whose locking already holds, the same
+way MMU001 keeps TLB coherence honest before any second TLB exists.
+
+**RACE001 — lockset analysis (static Eraser).**  ``GUARDED_BY``
+declarations (see :mod:`repro.analysis.rules.smp_audit`) name the
+:class:`repro.hw.sync.VLock` protecting each piece of shared state.
+Every read or write of a guarded name must be lexically inside a
+``with <lock>:`` block for the declared lock — lexical containment is
+sound because ``with`` guarantees release on every exit path.  A
+function may instead declare ``@guarded_by("<lock>")``: its body then
+assumes the lock, and the obligation is discharged through the call
+graph exactly like MMU001 delegation — every known caller must hold
+the lock at the call site (or be discharged itself, to depth 3), and a
+function with **zero** known callers discharges nothing.
+
+**LOCK001 — lock-order acyclicity.**  Nested acquires and
+calls-made-while-holding induce a global order edge ``A -> B``
+("B acquired while A held").  The union of these edges over the whole
+project must be acyclic; any cycle is a potential deadlock and is
+reported with a witness chain (one acquisition site per edge) carried
+on :attr:`repro.analysis.engine.Finding.trace` and rendered as a SARIF
+codeFlow.
+
+**ATOM001 — check-then-act atomicity.**  A guarded read that feeds a
+*different* critical section of the same lock (confirmed via reaching
+definitions, not text order) is a decision made on stale state: the
+lock was dropped and retaken between the check and the act.  The two
+accesses must share one ``with`` block.
+
+All three rules are purely lexical/AST-level over the shared project
+call graph and CFGs; they never import or execute analysed code.
+"""
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import Finding, ModuleInfo
+from repro.analysis.rules.base import Rule, dotted_name, import_aliases
+
+#: How many caller frames a @guarded_by obligation may be discharged
+#: through (mirrors MMU001's delegation depth).
+_DELEGATION_DEPTH = 3
+
+#: Constructor name that declares a virtual lock.
+_LOCK_CTOR = "VLock"
+
+
+def _tail(name: str) -> str:
+    return name.rsplit(".", 1)[-1]
+
+
+def _guarded_by_locks(fn_node: ast.AST) -> Tuple[str, ...]:
+    """Lock names a ``@guarded_by("lock", ...)`` decorator assumes."""
+    locks: List[str] = []
+    for dec in getattr(fn_node, "decorator_list", ()):
+        if not isinstance(dec, ast.Call):
+            continue
+        name = dotted_name(dec.func)
+        if name is None or _tail(name) != "guarded_by":
+            continue
+        for arg in dec.args:
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                locks.append(arg.value)
+    return tuple(locks)
+
+
+def _module_guards(mod: ModuleInfo) -> Dict[str, Tuple[str, str]]:
+    """Module-scope ``GUARDED_BY`` entries.
+
+    Maps state name -> (lock variable name, canonical lock id).  The
+    variable name is what declarations and ``@guarded_by`` spell; the
+    canonical id (see :func:`_declared_locks`) is what held-sets carry,
+    so the two never drift apart in comparisons.
+    """
+    from repro.analysis.rules.smp_audit import _declared_guards
+    locks = _declared_locks(mod)
+    return {state: (lock, locks.get(lock, f"{mod.module}:{lock}"))
+            for state, lock in _declared_guards(mod.tree).items()
+            if "." not in state}
+
+
+def _declared_locks(mod: ModuleInfo) -> Dict[str, str]:
+    """Lock variables declared in ``mod``: tail name -> canonical id.
+
+    Module-scope ``x = VLock("n")`` and method-body
+    ``self._x = VLock("n")`` both count; the canonical id is the
+    constructor's constant name argument when present, else
+    ``module:var`` — so the *same VLock object* gets one identity
+    however it is spelled at acquisition sites.
+    """
+    locks: Dict[str, str] = {}
+    for node in ast.walk(mod.tree):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.value, ast.Call)):
+            continue
+        ctor = dotted_name(node.value.func)
+        if ctor is None or _tail(ctor) != _LOCK_CTOR:
+            continue
+        target = node.targets[0]
+        if isinstance(target, ast.Name):
+            var = target.id
+        elif (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            var = target.attr
+        else:
+            continue
+        ctor_args = node.value.args
+        if ctor_args and isinstance(ctor_args[0], ast.Constant) \
+                and isinstance(ctor_args[0].value, str):
+            locks[var] = ctor_args[0].value
+        else:
+            locks[var] = f"{mod.module}:{var}"
+    return locks
+
+
+def _with_locks(stmt: ast.With, known: Dict[str, str]) -> List[str]:
+    """Canonical ids of known locks ``stmt`` acquires (in item order)."""
+    acquired: List[str] = []
+    for item in stmt.items:
+        name = dotted_name(item.context_expr)
+        if name is None:
+            continue
+        lock_id = known.get(_tail(name))
+        if lock_id is not None:
+            acquired.append(lock_id)
+    return acquired
+
+
+class _HeldWalker:
+    """Shared lexical walk: visit every node with the held-lock set.
+
+    Locks are tracked by canonical id; ``with`` bodies extend the set
+    for exactly their lexical extent, which matches the runtime
+    guarantee (``with`` releases on every exit path).  Nested function
+    definitions are *not* descended into — they run later, under their
+    own (unknown) lock context.
+    """
+
+    def __init__(self, known_locks: Dict[str, str]):
+        self._known = known_locks
+
+    def walk(self, body: Sequence[ast.stmt], held: Tuple[str, ...],
+             visit) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.With):
+                acquired = _with_locks(stmt, self._known)
+                for item in stmt.items:
+                    visit(item.context_expr, held, stmt)
+                self.walk(stmt.body, held + tuple(acquired), visit)
+                continue
+            visit(stmt, held, stmt)
+            for child in ast.iter_child_nodes(stmt):
+                self._walk_expr_or_block(child, held, visit, stmt)
+
+    def _walk_expr_or_block(self, node: ast.AST, held: Tuple[str, ...],
+                            visit, owner: ast.stmt) -> None:
+        if isinstance(node, ast.stmt):
+            self.walk([node], held, visit)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            return
+        for child in ast.iter_child_nodes(node):
+            self._walk_expr_or_block(child, held, visit, owner)
+
+
+# ----------------------------------------------------------------------
+# RACE001
+# ----------------------------------------------------------------------
+
+class LocksetRaceRule(Rule):
+    rule_id = "RACE001"
+    name = "lockset-race"
+    summary = ("every access to GUARDED_BY state must hold the declared "
+               "lock (lexically or via a discharged @guarded_by)")
+
+    def __init__(self):
+        self._project = None
+        self._callers = None
+        self._discharged: Dict[Tuple[str, str], bool] = {}
+        #: (module, state) -> lock name, across the whole project.
+        self._guards: Optional[Dict[Tuple[str, str], str]] = None
+
+    def begin_project(self, project) -> None:
+        self._project = project
+        self._callers = None
+        self._discharged = {}
+        self._guards = None
+
+    def _project_for(self, mod: ModuleInfo):
+        if self._project is not None and mod in self._project:
+            return self._project
+        from repro.analysis.flow import ProjectContext
+        self._callers = None
+        self._discharged = {}
+        self._guards = None
+        return ProjectContext([mod])
+
+    def _guard_map(self, project) -> Dict[Tuple[str, str], Tuple[str, str]]:
+        if self._guards is None:
+            guards: Dict[Tuple[str, str], Tuple[str, str]] = {}
+            for mod in project.modules:
+                for state, lock in _module_guards(mod).items():
+                    guards[(mod.module, state)] = lock
+            self._guards = guards
+        return self._guards
+
+    def _caller_map(self, project):
+        if self._callers is None:
+            callers: Dict[Tuple[str, str], List] = {}
+            for fn in project.callgraph.functions.values():
+                for site in fn.calls:
+                    if site.callee is not None:
+                        callers.setdefault(site.callee, []).append(
+                            (fn, site.node))
+            self._callers = callers
+        return self._callers
+
+    def check(self, mod: ModuleInfo) -> Iterable[Finding]:
+        project = self._project_for(mod)
+        guards = self._guard_map(project)
+        if not guards:
+            return
+        own_guards = _module_guards(mod)
+        known_locks = _declared_locks(mod)
+        aliases = import_aliases(mod.tree)
+        walker = _HeldWalker(known_locks)
+        for fn in project.callgraph.functions_in(mod):
+            assumed = _guarded_by_locks(fn.node)
+            assumed_ids = {known_locks.get(a, a) for a in assumed}
+            unguarded: List[Tuple[ast.AST, str, str]] = []
+            assumption_used = False
+
+            def visit(node: ast.AST, held: Tuple[str, ...], _owner) -> None:
+                nonlocal assumption_used
+                for access, state, lock, lock_id in self._accesses(
+                        node, mod, own_guards, guards, aliases):
+                    if lock_id in held:
+                        continue
+                    if lock_id in assumed_ids:
+                        assumption_used = True
+                        continue
+                    unguarded.append((access, state, lock))
+
+            walker.walk(fn.node.body, (), visit)
+            for access, state, lock in unguarded:
+                yield self.finding(
+                    mod, access,
+                    f"access to `{state}` without holding `{lock}` "
+                    f"(declared in GUARDED_BY) — wrap the access in "
+                    f"`with {lock}:` or declare the function "
+                    f"`@guarded_by(\"{lock}\")` and make every caller "
+                    "hold it")
+            if assumption_used and not self._discharges(
+                    project, fn, assumed_ids, _DELEGATION_DEPTH,
+                    frozenset({fn.key})):
+                yield self.finding(
+                    mod, fn.node,
+                    f"`{fn.qualname}` relies on @guarded_by"
+                    f"({', '.join(repr(a) for a in assumed)}) but not "
+                    "every known caller holds the lock at the call site "
+                    "(functions with no known callers discharge nothing)")
+
+    def _accesses(self, node: ast.AST, mod: ModuleInfo,
+                  own_guards: Dict[str, Tuple[str, str]],
+                  guards: Dict[Tuple[str, str], Tuple[str, str]],
+                  aliases: Dict[str, str]):
+        """Yield (node, state-key, lock-name, lock-id) for guarded-state
+        accesses in the expression/statement ``node`` (without crossing
+        into statements the walker visits separately)."""
+        for sub in self._shallow_walk(node):
+            if isinstance(sub, ast.Name):
+                guard = own_guards.get(sub.id)
+                if guard is not None:
+                    yield sub, f"{mod.module}:{sub.id}", guard[0], guard[1]
+            elif isinstance(sub, ast.Attribute):
+                dotted = dotted_name(sub)
+                if dotted is None or "." not in dotted:
+                    continue
+                head, _, attr_path = dotted.partition(".")
+                origin = aliases.get(head)
+                if origin is None:
+                    continue
+                state = _tail(attr_path)
+                module = (origin if attr_path == state
+                          else f"{origin}.{attr_path}".rsplit(".", 1)[0])
+                guard = guards.get((module, state))
+                if guard is not None:
+                    yield sub, f"{module}:{state}", guard[0], guard[1]
+
+    @staticmethod
+    def _shallow_walk(node: ast.AST):
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            yield cur
+            for child in ast.iter_child_nodes(cur):
+                if not isinstance(child, (ast.stmt, ast.Lambda)):
+                    stack.append(child)
+
+    def _discharges(self, project, fn, needed: Set[str], depth: int,
+                    visited: frozenset) -> bool:
+        """True iff every known caller holds all ``needed`` locks at
+        its call site into ``fn`` (or is itself discharged)."""
+        cache_key = fn.key
+        cached = self._discharged.get(cache_key)
+        if cached is not None:
+            return cached
+        callers = self._caller_map(project).get(fn.key, [])
+        if not callers or depth <= 0:
+            self._discharged[cache_key] = False
+            return False
+        ok = True
+        for caller, call_node in callers:
+            if caller.key in visited:
+                ok = False  # recursion cycle: nobody discharges it
+                break
+            if needed <= set(self._held_at(caller, call_node)):
+                continue
+            caller_locks = _declared_locks(caller.module)
+            caller_assumed = {caller_locks.get(a, a)
+                              for a in _guarded_by_locks(caller.node)}
+            if needed <= caller_assumed and self._discharges(
+                    project, caller, caller_assumed, depth - 1,
+                    visited | {caller.key}):
+                continue
+            ok = False
+            break
+        self._discharged[cache_key] = ok
+        return ok
+
+    @staticmethod
+    def _held_at(caller, target_node: ast.AST) -> Tuple[str, ...]:
+        """Locks lexically held at ``target_node`` inside ``caller``."""
+        known = _declared_locks(caller.module)
+        result: List[Tuple[str, ...]] = []
+        targets = {id(target_node)}
+
+        def visit(node: ast.AST, held: Tuple[str, ...], _owner) -> None:
+            if result:
+                return
+            for sub in ast.walk(node):
+                if id(sub) in targets:
+                    result.append(held)
+                    return
+
+        _HeldWalker(known).walk(caller.node.body, (), visit)
+        return result[0] if result else ()
+
+
+# ----------------------------------------------------------------------
+# LOCK001
+# ----------------------------------------------------------------------
+
+class LockOrderRule(Rule):
+    rule_id = "LOCK001"
+    name = "lock-order"
+    summary = ("the global lock-acquisition order graph must be acyclic "
+               "(cycles are potential deadlocks)")
+
+    def __init__(self):
+        self._project = None
+        self._by_module: Optional[Dict[str, List[Finding]]] = None
+
+    def begin_project(self, project) -> None:
+        self._project = project
+        self._by_module = None
+
+    def _project_for(self, mod: ModuleInfo):
+        if self._project is not None and mod in self._project:
+            return self._project
+        from repro.analysis.flow import ProjectContext
+        self._by_module = None
+        return ProjectContext([mod])
+
+    def check(self, mod: ModuleInfo) -> Iterable[Finding]:
+        project = self._project_for(mod)
+        if self._by_module is None:
+            self._by_module = self._analyse(project)
+        yield from self._by_module.get(mod.module, [])
+
+    # -- building the order graph ------------------------------------------
+
+    def _analyse(self, project) -> Dict[str, List[Finding]]:
+        # Edge (a, b) = "b acquired while a held", with one witness
+        # (mod, node, description) per edge, first site wins
+        # (deterministic: modules and functions are visited in order).
+        edges: Dict[Tuple[str, str], Tuple[ModuleInfo, ast.AST, str]] = {}
+        direct: Dict[Tuple[str, str], Set[str]] = {}
+        fn_sites: List[Tuple[object, ModuleInfo, Dict[str, str]]] = []
+        for mod in project.modules:
+            known = _declared_locks(mod)
+            if not known:
+                continue
+            for fn in project.callgraph.functions_in(
+                    mod, include_module_scope=True):
+                fn_sites.append((fn, mod, known))
+                direct[fn.key] = set()
+        for fn, mod, known in fn_sites:
+            walker = _HeldWalker(known)
+            acquires = direct[fn.key]
+
+            def visit(node: ast.AST, held: Tuple[str, ...], owner) -> None:
+                if not isinstance(owner, ast.With) \
+                        or node is not owner.items[0].context_expr:
+                    return  # one pass per with-statement, not per item
+                locks = _with_locks(owner, known)
+                for i, lock in enumerate(locks):
+                    acquires.add(lock)
+                    # A multi-item `with a, b:` acquires in item order,
+                    # so earlier items order before later ones too.
+                    for prior in held + tuple(locks[:i]):
+                        if prior != lock:
+                            edges.setdefault((prior, lock), (
+                                mod, owner,
+                                f"`{lock}` acquired while holding "
+                                f"`{prior}` at {mod.module}:"
+                                f"{fn.qualname} (line {owner.lineno})"))
+
+            walker.walk(fn.node.body, (), visit)
+        self._propagate_calls(project, fn_sites, direct, edges)
+        return self._report_cycles(project, edges)
+
+    def _propagate_calls(self, project, fn_sites, direct, edges) -> None:
+        """Calls made while holding a lock order that lock before every
+        lock the callee (transitively, depth-bounded) acquires."""
+        closure: Dict[Tuple[str, str], Set[str]] = {}
+
+        def acquired_by(fn_key, depth: int, visited: frozenset) -> Set[str]:
+            cached = closure.get(fn_key)
+            if cached is not None:
+                return cached
+            locks = set(direct.get(fn_key, ()))
+            if depth > 0:
+                fn = project.callgraph.functions.get(fn_key)
+                if fn is not None:
+                    for site in fn.calls:
+                        if site.callee is None or site.callee in visited:
+                            continue
+                        locks |= acquired_by(site.callee, depth - 1,
+                                             visited | {site.callee})
+            closure[fn_key] = locks
+            return locks
+
+        for fn, mod, known in fn_sites:
+            walker = _HeldWalker(known)
+
+            def visit(node: ast.AST, held: Tuple[str, ...], _owner) -> None:
+                if not held:
+                    return
+                for sub in ast.walk(node):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    site = fn.site_for(sub)
+                    if site is None or site.callee is None:
+                        continue
+                    for lock in acquired_by(site.callee, _DELEGATION_DEPTH,
+                                            frozenset({site.callee})):
+                        for prior in held:
+                            if prior != lock:
+                                edges.setdefault((prior, lock), (
+                                    mod, sub,
+                                    f"`{lock}` acquired via call to "
+                                    f"`{site.name}` while holding "
+                                    f"`{prior}` at {mod.module}:"
+                                    f"{fn.qualname} (line {sub.lineno})"))
+
+            walker.walk(fn.node.body, (), visit)
+
+    # -- cycle detection ----------------------------------------------------
+
+    def _report_cycles(self, project, edges) -> Dict[str, List[Finding]]:
+        graph: Dict[str, Set[str]] = {}
+        for a, b in edges:
+            graph.setdefault(a, set()).add(b)
+            graph.setdefault(b, set())
+        findings: Dict[str, List[Finding]] = {}
+        for cycle in self._cycles(graph):
+            steps = []
+            for i, lock in enumerate(cycle):
+                nxt = cycle[(i + 1) % len(cycle)]
+                steps.append(edges[(lock, nxt)])
+            mod, node, _desc = steps[0]
+            trace = tuple(desc for _m, _n, desc in steps)
+            findings.setdefault(mod.module, []).append(self.finding(
+                mod, node,
+                "lock-order cycle (potential deadlock): "
+                + " -> ".join(f"`{lock}`" for lock in cycle)
+                + f" -> `{cycle[0]}` — establish one global order and "
+                "acquire in it everywhere (witness chain attached)",
+                trace=trace))
+        return findings
+
+    @staticmethod
+    def _cycles(graph: Dict[str, Set[str]]) -> List[Tuple[str, ...]]:
+        """Elementary cycles, each rotated to start at its smallest
+        lock id and reported once, in deterministic order."""
+        seen: Set[Tuple[str, ...]] = set()
+        out: List[Tuple[str, ...]] = []
+
+        def dfs(start: str, node: str, path: List[str],
+                on_path: Set[str]) -> None:
+            for succ in sorted(graph.get(node, ())):
+                if succ == start:
+                    pivot = path.index(min(path))
+                    canon = tuple(path[pivot:] + path[:pivot])
+                    if canon not in seen:
+                        seen.add(canon)
+                        out.append(canon)
+                elif succ not in on_path and succ > start:
+                    # Only walk ids above the start: every cycle is
+                    # found exactly once, from its smallest member.
+                    dfs(start, succ, path + [succ], on_path | {succ})
+
+        for start in sorted(graph):
+            dfs(start, start, [start], {start})
+        return out
+
+
+# ----------------------------------------------------------------------
+# ATOM001
+# ----------------------------------------------------------------------
+
+class AtomicityRule(Rule):
+    rule_id = "ATOM001"
+    name = "check-then-act"
+    summary = ("a guarded read feeding a later critical section of the "
+               "same lock must share its with-block (no check-then-act "
+               "across a lock release)")
+
+    def __init__(self):
+        self._project = None
+
+    def begin_project(self, project) -> None:
+        self._project = project
+
+    def _project_for(self, mod: ModuleInfo):
+        if self._project is not None and mod in self._project:
+            return self._project
+        from repro.analysis.flow import ProjectContext
+        return ProjectContext([mod])
+
+    def check(self, mod: ModuleInfo) -> Iterable[Finding]:
+        own_guards = _module_guards(mod)
+        if not own_guards:
+            return
+        project = self._project_for(mod)
+        known_locks = _declared_locks(mod)
+        from repro.analysis.flow.dataflow import ReachingDefinitions
+        for fn in project.callgraph.functions_in(mod):
+            sections = self._sections(fn.node, known_locks)
+            if len(sections) < 2:
+                continue
+            cfg = project.cfg_for(fn)
+            defs = ReachingDefinitions(cfg)
+            yield from self._check_fn(mod, fn, cfg, defs, sections,
+                                      own_guards)
+
+    def _sections(self, fn_node: ast.AST,
+                  known: Dict[str, str]) -> List[Tuple[str, ast.With]]:
+        """Every (lock id, with-node) critical section in the function."""
+        out: List[Tuple[str, ast.With]] = []
+        for node in ast.walk(fn_node):
+            if isinstance(node, ast.With):
+                for lock in _with_locks(node, known):
+                    out.append((lock, node))
+        return out
+
+    def _check_fn(self, mod, fn, cfg, defs, sections, own_guards):
+        by_lock: Dict[str, List[ast.With]] = {}
+        for lock, node in sections:
+            by_lock.setdefault(lock, []).append(node)
+        for lock, withs in by_lock.items():
+            if len(withs) < 2:
+                continue
+            states = {name for name, guard in own_guards.items()
+                      if guard[1] == lock}
+            if not states:
+                continue
+            for src in withs:
+                for dst in withs:
+                    if dst is src or self._contains(src, dst) \
+                            or self._contains(dst, src):
+                        continue
+                    yield from self._split_flow(
+                        mod, cfg, defs, src, dst, states, lock)
+
+    @staticmethod
+    def _contains(outer: ast.With, inner: ast.With) -> bool:
+        return any(sub is inner for sub in ast.walk(outer))
+
+    def _split_flow(self, mod, cfg, defs, src: ast.With, dst: ast.With,
+                    states: Set[str], lock: str):
+        """A def in ``src`` reading guarded state, used in ``dst``
+        which also touches the state: the check and the act are in two
+        critical sections."""
+        for stmt in src.body:
+            for assign in (s for s in ast.walk(stmt)
+                           if isinstance(s, ast.Assign)):
+                if len(assign.targets) != 1 or not isinstance(
+                        assign.targets[0], ast.Name):
+                    continue
+                var = assign.targets[0].id
+                reads = {n.id for n in ast.walk(assign.value)
+                         if isinstance(n, ast.Name)}
+                if not (reads & states):
+                    continue
+                def_block = cfg.enclosing_block(assign)
+                if def_block is None:
+                    continue
+                use = self._use_in(dst, var, states)
+                if use is None:
+                    continue
+                use_block = cfg.enclosing_block(use)
+                if use_block is None or (
+                        (var, def_block) not in defs.reaching(use_block)
+                        and use_block != def_block):
+                    continue
+                yield self.finding(
+                    mod, dst,
+                    f"check-then-act on `{', '.join(sorted(reads & states))}`"
+                    f" split across two `with {lock}:` sections — `{var}` "
+                    f"is read under the lock (line {assign.lineno}), the "
+                    "lock is released, and the decision is acted on in a "
+                    "new critical section; merge them so the state cannot "
+                    "change in between")
+                return
+
+    @staticmethod
+    def _use_in(dst: ast.With, var: str,
+                states: Set[str]) -> Optional[ast.stmt]:
+        """First statement in ``dst`` loading ``var``, provided the
+        section also accesses the guarded state."""
+        touches_state = any(
+            isinstance(n, ast.Name) and n.id in states
+            for s in dst.body for n in ast.walk(s))
+        if not touches_state:
+            return None
+        for stmt in dst.body:
+            for node in ast.walk(stmt):
+                if (isinstance(node, ast.Name) and node.id == var
+                        and isinstance(node.ctx, ast.Load)):
+                    return stmt
+        return None

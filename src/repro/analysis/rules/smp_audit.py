@@ -21,6 +21,21 @@ Three item kinds, scoped to ``repro.hw.*`` and ``repro.core.*``:
   live references to one mutable record — exactly what a per-vCPU TLB
   split would have to reconcile.
 
+Since the concurrency-discipline PR, every item must also carry a
+*declared discipline* — the code states, machine-checkably, how the
+state survives a second vCPU:
+
+* ``GUARDED_BY = {"_name": "_lock"}`` at module or class scope
+  declares a :class:`repro.hw.sync.VLock` guard (RACE001 then checks
+  every access holds it);
+* binding the state through ``PerCpu(...)`` or ``freeze(...)`` makes
+  it per-CPU or immutable;
+* ``@reconcile("var", why=...)`` on the escaping function declares an
+  aliased record as shared on purpose, with a named reconcile path.
+
+An inventoried item with no declared discipline fails tier-1 just like
+an item missing from the report.
+
 Everything is derived deterministically from the AST (no line numbers
 in keys or in the report), so the report only changes when the state
 inventory actually changes.
@@ -47,20 +62,30 @@ MUTABLE_FACTORIES = frozenset({
 #: Mutable-record classes whose aliasing across objects we audit.
 ALIAS_CLASS_NAMES = frozenset({"TLBEntry", "PageMetadata"})
 
+#: repro.hw.sync wrappers whose presence *is* a discipline: binding
+#: shared state through them answers the SMP question at the
+#: definition site.
+DISCIPLINE_WRAPPERS = {
+    "PerCpu": "per-CPU (`PerCpu` cells — no cross-vCPU sharing)",
+    "freeze": "frozen (`freeze` — read-only after construction)",
+}
+
 _CONST_NAME_RE = re.compile(r"^_?[A-Z][A-Z0-9_]*$")
 
 
 class Item:
     """One inventory entry; ``key`` is its stable identity."""
 
-    __slots__ = ("key", "kind", "detail", "node")
+    __slots__ = ("key", "kind", "detail", "node", "discipline")
 
     def __init__(self, key: str, kind: str, detail: str,
-                 node: Optional[ast.AST] = None):
+                 node: Optional[ast.AST] = None,
+                 discipline: Optional[str] = None):
         self.key = key
         self.kind = kind      # "module-global" | "class-attr" | "aliasing"
         self.detail = detail
         self.node = node
+        self.discipline = discipline  # None = undeclared (SMP001 fails)
 
 
 # ----------------------------------------------------------------------
@@ -90,16 +115,61 @@ def _own_class_names(tree: ast.Module) -> Set[str]:
             if isinstance(stmt, ast.ClassDef)}
 
 
+def _declared_guards(tree: ast.Module) -> Dict[str, str]:
+    """``GUARDED_BY`` declarations: state name -> lock name.
+
+    Module-scope dicts guard module globals (``"_memo" -> "_lock"``);
+    a class-body dict guards that class's attributes, keyed
+    ``"Cls.attr"``.  Only literal str->str entries count — the
+    declaration must be readable without executing anything.
+    """
+    guards: Dict[str, str] = {}
+
+    def scan(body, prefix: str) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                scan(stmt.body, stmt.name + ".")
+                continue
+            if not isinstance(stmt, ast.Assign):
+                continue
+            if not any(isinstance(t, ast.Name) and t.id == "GUARDED_BY"
+                       for t in stmt.targets):
+                continue
+            if not isinstance(stmt.value, ast.Dict):
+                continue
+            for key, value in zip(stmt.value.keys, stmt.value.values):
+                if (isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)):
+                    guards[prefix + key.value] = value.value
+
+    scan(tree.body, "")
+    return guards
+
+
+def _wrapper_discipline(value: ast.AST) -> Optional[str]:
+    """Discipline string when ``value`` is a PerCpu(...)/freeze(...) call."""
+    if not isinstance(value, ast.Call):
+        return None
+    name = dotted_name(value.func)
+    if name is None:
+        return None
+    return DISCIPLINE_WRAPPERS.get(name.rsplit(".", 1)[-1])
+
+
 def _module_globals(mod: ModuleInfo) -> Iterable[Item]:
     own_classes = _own_class_names(mod.tree)
+    guards = _declared_guards(mod.tree)
     for stmt in mod.tree.body:
         if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
             continue
         value = stmt.value
         if value is None:
             continue
+        wrapped = _wrapper_discipline(value)
         kind = _mutable_value_kind(value, own_classes)
-        if kind is None:
+        if kind is None and wrapped is None:
             continue
         targets = (stmt.targets if isinstance(stmt, ast.Assign)
                    else [stmt.target])
@@ -109,20 +179,30 @@ def _module_globals(mod: ModuleInfo) -> Iterable[Item]:
             name = target.id
             if name.startswith("__") and name.endswith("__"):
                 continue
+            if wrapped is not None:
+                yield Item(
+                    f"{mod.module}:{name}", "module-global",
+                    "shared state bound through a sync wrapper at module "
+                    "scope", stmt, discipline=wrapped)
+                continue
             if kind != "instance" and _CONST_NAME_RE.match(name):
                 continue  # constant by convention; instances never are
             what = (f"`{dotted_name(value.func)}(...)` instance"
                     if kind == "instance"
                     else "mutable container")
+            lock = guards.get(name)
             yield Item(
                 f"{mod.module}:{name}", "module-global",
                 f"{what} at module scope — one object shared by every "
                 "vCPU; needs a lock, per-CPU split, or freeze",
-                stmt)
+                stmt,
+                discipline=(f"guarded by `{lock}`"
+                            if lock is not None else None))
 
 
 def _class_attrs(mod: ModuleInfo) -> Iterable[Item]:
     own_classes = _own_class_names(mod.tree)
+    guards = _declared_guards(mod.tree)
     for cls in mod.tree.body:
         if not isinstance(cls, ast.ClassDef):
             continue
@@ -132,8 +212,9 @@ def _class_attrs(mod: ModuleInfo) -> Iterable[Item]:
             value = stmt.value
             if value is None:
                 continue
+            wrapped = _wrapper_discipline(value)
             kind = _mutable_value_kind(value, own_classes)
-            if kind is None:
+            if kind is None and wrapped is None:
                 continue
             targets = (stmt.targets if isinstance(stmt, ast.Assign)
                        else [stmt.target])
@@ -143,13 +224,22 @@ def _class_attrs(mod: ModuleInfo) -> Iterable[Item]:
                 name = target.id
                 if name.startswith("__") and name.endswith("__"):
                     continue
+                if wrapped is not None:
+                    yield Item(
+                        f"{mod.module}:{cls.name}.{name}", "class-attr",
+                        "shared class attribute bound through a sync "
+                        "wrapper", stmt, discipline=wrapped)
+                    continue
                 if kind != "instance" and _CONST_NAME_RE.match(name):
                     continue
+                lock = guards.get(f"{cls.name}.{name}")
                 yield Item(
                     f"{mod.module}:{cls.name}.{name}", "class-attr",
                     "mutable class attribute — shared by every instance, "
                     "so by every vCPU touching the class",
-                    stmt)
+                    stmt,
+                    discipline=(f"guarded by `{lock}`"
+                                if lock is not None else None))
 
 
 def _walk_pruned(root: ast.AST):
@@ -161,6 +251,22 @@ def _walk_pruned(root: ast.AST):
                              ast.ClassDef)):
             continue
         stack.extend(ast.iter_child_nodes(node))
+
+
+def reconciled_names(fn_node: ast.AST) -> Set[str]:
+    """Variable names an ``@reconcile("name", why=...)`` decorator on
+    ``fn_node`` declares as deliberately-shared escapes."""
+    names: Set[str] = set()
+    for dec in getattr(fn_node, "decorator_list", ()):
+        if not isinstance(dec, ast.Call):
+            continue
+        dec_name = dotted_name(dec.func)
+        if dec_name is None or dec_name.rsplit(".", 1)[-1] != "reconcile":
+            continue
+        for arg in dec.args:
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                names.add(arg.value)
+    return names
 
 
 def _aliasing(mod: ModuleInfo, project) -> Iterable[Item]:
@@ -203,6 +309,7 @@ def _aliasing(mod: ModuleInfo, project) -> Iterable[Item]:
                 for target in sub.targets:
                     if isinstance(target, (ast.Attribute, ast.Subscript)):
                         escapes[sub.value.id].append("store")
+        reconciled = reconciled_names(fn.node)
         for name in sorted(tracked):
             kinds = escapes[name]
             if len(kinds) >= 2 and ("return" in kinds or "store" in kinds):
@@ -212,7 +319,10 @@ def _aliasing(mod: ModuleInfo, project) -> Iterable[Item]:
                     + " + ".join(sorted(set(kinds)))
                     + " — two live references to one entry; a per-vCPU "
                     "split must reconcile or copy",
-                    fn.node)
+                    fn.node,
+                    discipline=("shared on purpose (`@reconcile` names the "
+                                "reconcile path)"
+                                if name in reconciled else None))
 
 
 def build_inventory(mod: ModuleInfo, project) -> List[Item]:
@@ -250,7 +360,9 @@ def render_report(items: Iterable[Item]) -> str:
         "state exists in `repro.hw`/`repro.core` without an entry here,",
         "so this file is the authoritative work-list for the multi-vCPU",
         "refactor (ROADMAP): every item below must become locked,",
-        "per-CPU, or immutable before SMP lands.",
+        "per-CPU, or immutable before SMP lands.  Each item's declared",
+        "discipline (GUARDED_BY / PerCpu / freeze / @reconcile) is",
+        "listed with it; an item with no discipline also fails SMP001.",
         "",
     ]
     for kind, title in _SECTIONS:
@@ -261,7 +373,10 @@ def render_report(items: Iterable[Item]) -> str:
             lines.append("_(none found)_")
         else:
             for item in section:
-                lines.append(f"- `{item.key}` — {item.detail}")
+                line = f"- `{item.key}` — {item.detail}"
+                if item.discipline is not None:
+                    line += f"  \n  **discipline:** {item.discipline}"
+                lines.append(line)
         lines.append("")
     return "\n".join(lines)
 
@@ -311,6 +426,14 @@ class SmpAuditRule(Rule):
         text = self._report_text(mod)
         for item in items:
             if text is not None and f"`{item.key}`" in text:
+                if item.discipline is None:
+                    yield self.finding(
+                        mod,
+                        item.node if item.node is not None else mod.tree,
+                        f"{item.kind} shared state `{item.key}` has no "
+                        "declared concurrency discipline — guard it "
+                        "(GUARDED_BY + VLock), make it PerCpu, freeze it, "
+                        "or annotate the escape with @reconcile")
                 continue
             yield self.finding(
                 mod, item.node if item.node is not None else mod.tree,

@@ -22,6 +22,9 @@ import struct
 from collections import OrderedDict
 from typing import Optional, Tuple
 
+from repro.hw.sync import VLock, current_cpu
+from repro.obs import bus
+
 #: Size of one keystream block (SHA-256 output).
 _BLOCK = 32
 
@@ -64,6 +67,17 @@ class _Memo:
 _derive_memo = _Memo()
 _principal_memo = _Memo()
 
+#: Both memos are shared by every vCPU and mutated on hits (LRU
+#: reordering) as well as misses, so reads need the lock too.
+_memo_lock = VLock("crypto.memo")
+
+#: Concurrency discipline declaration (RACE001 / SMP001): every access
+#: to the named module state must hold the named lock.
+GUARDED_BY = {
+    "_derive_memo": "_memo_lock",
+    "_principal_memo": "_memo_lock",
+}
+
 
 def derive_key(master: bytes, purpose: str, qualifier: int = 0) -> bytes:
     """Derive a sub-key from ``master`` for a named purpose.
@@ -72,12 +86,18 @@ def derive_key(master: bytes, purpose: str, qualifier: int = 0) -> bytes:
     and MAC keys are derived, never stored.
     """
     memo_key = (master, purpose, qualifier)
-    cached = _derive_memo.get(memo_key)
-    if cached is not None:
-        return cached
-    info = purpose.encode() + struct.pack("<Q", qualifier)
-    derived = hmac.new(master, b"derive" + info, hashlib.sha256).digest()
-    return _derive_memo.put(memo_key, derived)
+    # Derivation is pure, so computing inside the critical section only
+    # serialises redundant work — and keeps lookup + insert one atomic
+    # step (ATOM001: no check-then-act window between them).
+    with _memo_lock:
+        if bus.ACTIVE:
+            bus.sync_access("repro.core.crypto:_derive_memo", current_cpu())
+        cached = _derive_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        info = purpose.encode() + struct.pack("<Q", qualifier)
+        derived = hmac.new(master, b"derive" + info, hashlib.sha256).digest()
+        return _derive_memo.put(memo_key, derived)
 
 
 def make_iv(lineage_id: int, vpn: int, version: int) -> bytes:
@@ -199,16 +219,20 @@ class PageCipher:
         # bounded memo stops fork/exec storms and oracle sweeps from
         # re-deriving the same principal's keys on every construction.
         memo_key = (master, identity)
-        cached = _principal_memo.get(memo_key)
-        if cached is None:
-            digest = hashlib.sha256(b"principal" + identity).digest()
-            cached = _principal_memo.put(memo_key, (
-                int.from_bytes(digest[:8], "little"),
-                hmac.new(master, b"page-enc" + identity,
-                         hashlib.sha256).digest(),
-                hmac.new(master, b"page-mac" + identity,
-                         hashlib.sha256).digest(),
-            ))
+        with _memo_lock:
+            if bus.ACTIVE:
+                bus.sync_access("repro.core.crypto:_principal_memo",
+                                current_cpu())
+            cached = _principal_memo.get(memo_key)
+            if cached is None:
+                digest = hashlib.sha256(b"principal" + identity).digest()
+                cached = _principal_memo.put(memo_key, (
+                    int.from_bytes(digest[:8], "little"),
+                    hmac.new(master, b"page-enc" + identity,
+                             hashlib.sha256).digest(),
+                    hmac.new(master, b"page-mac" + identity,
+                             hashlib.sha256).digest(),
+                ))
         self.lineage_id, self._enc_key, self._mac_key = cached
 
     def shares_keys_with(self, other: "PageCipher") -> bool:

@@ -80,6 +80,12 @@ PROBES: Dict[str, Tuple[str, ...]] = {
     "swap.out": ("asid", "vpn", "gpfn"),
     "swap.in": ("asid", "vpn", "gpfn"),
     "sched.slice": ("pid",),
+    # hw/sync: virtual lock ownership changes and guarded accesses to
+    # declared shared state ("state" is the SMP001 inventory key).
+    # The lockset sanitizer replays these Eraser-style.
+    "sync.acquire": ("lock", "cpu"),
+    "sync.release": ("lock", "cpu"),
+    "sync.access": ("state", "cpu"),
     # faults/plan: an armed injection site fired
     "fault.fire": ("site",),
 }

@@ -1,0 +1,267 @@
+"""RACE001 / LOCK001 / ATOM001: the concurrency discipline rules.
+
+Includes the mutation tests from the PR's acceptance criteria: strip
+the lock from the real crypto memo path and watch RACE001 fire; invert
+an acquisition order and watch LOCK001 report the cycle; split a
+critical section and watch ATOM001 catch the check-then-act window.
+"""
+
+import shutil
+from pathlib import Path
+
+import repro
+from repro.analysis.rules.concurrency import (AtomicityRule, LockOrderRule,
+                                              LocksetRaceRule)
+
+from tests.analysis.conftest import check
+
+SRC_REPRO = Path(repro.__file__).resolve().parent
+
+GUARDED_HEADER = """\
+    from repro.hw.sync import VLock, guarded_by
+
+    _cache = {}
+    _lock = VLock("memo.lock")
+    GUARDED_BY = {"_cache": "_lock"}
+
+"""
+
+
+def _copy_crypto(tree):
+    target = tree.root / "repro" / "core" / "crypto.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copy(SRC_REPRO / "core" / "crypto.py", target)
+    return target
+
+
+# -- RACE001 -------------------------------------------------------------
+
+
+def test_access_inside_with_block_is_clean(tree):
+    mod = tree.module("repro/core/memo.py", GUARDED_HEADER + """\
+    def lookup(key):
+        with _lock:
+            return _cache.get(key)
+    """)
+    assert check(LocksetRaceRule(), mod) == []
+
+
+def test_unguarded_access_fires(tree):
+    mod = tree.module("repro/core/memo.py", GUARDED_HEADER + """\
+    def lookup(key):
+        return _cache.get(key)
+    """)
+    findings = check(LocksetRaceRule(), mod)
+    assert len(findings) == 1
+    assert "_cache" in findings[0].message
+    assert "_lock" in findings[0].message
+
+
+def test_guarded_by_discharged_through_caller_is_clean(tree):
+    mod = tree.module("repro/core/memo.py", GUARDED_HEADER + """\
+    @guarded_by("_lock")
+    def unlocked_lookup(key):
+        return _cache.get(key)
+
+    def lookup(key):
+        with _lock:
+            return unlocked_lookup(key)
+    """)
+    assert check(LocksetRaceRule(), mod) == []
+
+
+def test_guarded_by_with_lockless_caller_fires(tree):
+    mod = tree.module("repro/core/memo.py", GUARDED_HEADER + """\
+    @guarded_by("_lock")
+    def unlocked_lookup(key):
+        return _cache.get(key)
+
+    def lookup(key):
+        return unlocked_lookup(key)
+    """)
+    findings = check(LocksetRaceRule(), mod)
+    assert len(findings) == 1
+    assert "unlocked_lookup" in findings[0].message
+    assert "caller" in findings[0].message
+
+
+def test_guarded_by_with_zero_known_callers_fires(tree):
+    """A function nobody provably calls discharges nothing — the
+    assumption would just be unchecked."""
+    mod = tree.module("repro/core/memo.py", GUARDED_HEADER + """\
+    @guarded_by("_lock")
+    def unlocked_lookup(key):
+        return _cache.get(key)
+    """)
+    findings = check(LocksetRaceRule(), mod)
+    assert len(findings) == 1
+    assert "no known callers" in findings[0].message
+
+
+def test_mutated_crypto_without_lock_fires(tree):
+    """Mutation test: the real crypto memo path with its lock stripped
+    is exactly the race RACE001 exists to catch."""
+    target = _copy_crypto(tree)
+    source = target.read_text(encoding="utf-8")
+    assert source.count("with _memo_lock:") == 2
+    target.write_text(source.replace("with _memo_lock:", "if True:", 1),
+                      encoding="utf-8")
+    report = tree.run([LocksetRaceRule()])
+    assert any(f.rule == "RACE001" and "_derive_memo" in f.message
+               for f in report.findings), \
+        [f.render() for f in report.findings]
+
+
+def test_real_crypto_module_is_clean(tree):
+    _copy_crypto(tree)
+    report = tree.run([LocksetRaceRule()])
+    assert [f.render() for f in report.findings] == []
+
+
+# -- LOCK001 -------------------------------------------------------------
+
+
+def test_consistent_lock_order_is_clean(tree):
+    mod = tree.module("repro/core/locks.py", """\
+        from repro.hw.sync import VLock
+
+        _a = VLock("order.a")
+        _b = VLock("order.b")
+
+        def first():
+            with _a:
+                with _b:
+                    pass
+
+        def second():
+            with _a:
+                with _b:
+                    pass
+        """)
+    assert check(LockOrderRule(), mod) == []
+
+
+def test_inverted_lock_order_reports_cycle_with_witness(tree):
+    """Mutation test: the same two locks taken in both orders is the
+    canonical ABBA deadlock."""
+    mod = tree.module("repro/core/locks.py", """\
+        from repro.hw.sync import VLock
+
+        _a = VLock("order.a")
+        _b = VLock("order.b")
+
+        def forwards():
+            with _a:
+                with _b:
+                    pass
+
+        def backwards():
+            with _b:
+                with _a:
+                    pass
+        """)
+    findings = check(LockOrderRule(), mod)
+    assert len(findings) == 1
+    finding = findings[0]
+    assert "cycle" in finding.message
+    assert "order.a" in finding.message and "order.b" in finding.message
+    # The witness chain names one acquisition site per edge.
+    assert len(finding.trace) == 2
+    assert any("forwards" in step for step in finding.trace)
+    assert any("backwards" in step for step in finding.trace)
+
+
+def test_order_edge_through_a_call_is_seen(tree):
+    """Acquiring inside a callee orders the caller's held lock before
+    the callee's — the cycle spans the call graph."""
+    mod = tree.module("repro/core/locks.py", """\
+        from repro.hw.sync import VLock
+
+        _a = VLock("order.a")
+        _b = VLock("order.b")
+
+        def take_b():
+            with _b:
+                pass
+
+        def forwards():
+            with _a:
+                take_b()
+
+        def backwards():
+            with _b:
+                with _a:
+                    pass
+        """)
+    findings = check(LockOrderRule(), mod)
+    assert len(findings) == 1
+    assert "cycle" in findings[0].message
+
+
+def test_multi_item_with_orders_by_item_position(tree):
+    mod = tree.module("repro/core/locks.py", """\
+        from repro.hw.sync import VLock
+
+        _a = VLock("order.a")
+        _b = VLock("order.b")
+
+        def joint():
+            with _a, _b:
+                pass
+
+        def backwards():
+            with _b:
+                with _a:
+                    pass
+        """)
+    findings = check(LockOrderRule(), mod)
+    assert len(findings) == 1
+
+
+# -- ATOM001 -------------------------------------------------------------
+
+
+def test_single_critical_section_is_clean(tree):
+    mod = tree.module("repro/core/memo.py", GUARDED_HEADER + """\
+    def get_or_build(key):
+        with _lock:
+            value = _cache.get(key)
+            if value is None:
+                value = object()
+                _cache[key] = value
+        return value
+    """)
+    assert check(AtomicityRule(), mod) == []
+
+
+def test_split_check_then_act_fires(tree):
+    """Mutation test: the same memo logic with the lock dropped and
+    retaken between the check and the act."""
+    mod = tree.module("repro/core/memo.py", GUARDED_HEADER + """\
+    def get_or_build(key):
+        with _lock:
+            value = _cache.get(key)
+        with _lock:
+            if value is None:
+                _cache[key] = object()
+        return value
+    """)
+    findings = check(AtomicityRule(), mod)
+    assert len(findings) == 1
+    assert "check-then-act" in findings[0].message
+    assert "_cache" in findings[0].message
+
+
+def test_unrelated_second_section_is_clean(tree):
+    """Two critical sections with no guarded dataflow between them are
+    just two critical sections."""
+    mod = tree.module("repro/core/memo.py", GUARDED_HEADER + """\
+    def reset(key):
+        with _lock:
+            _cache.pop(key, None)
+        audit = []
+        with _lock:
+            audit.append(len(_cache))
+        return audit
+    """)
+    assert check(AtomicityRule(), mod) == []

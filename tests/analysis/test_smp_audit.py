@@ -77,6 +77,86 @@ def test_outside_scope_prefixes_is_ignored(tree):
     assert items == []
 
 
+def test_guarded_by_declaration_becomes_the_discipline(tree):
+    _mod, items = inventory(tree, "repro/core/memo.py", """\
+        from repro.hw.sync import VLock
+
+        _cache = {}
+        _bare = {}
+        _lock = VLock("memo.lock")
+        GUARDED_BY = {"_cache": "_lock"}
+        """)
+    by_key = {i.key: i for i in items}
+    assert by_key["repro.core.memo:_cache"].discipline == "guarded by `_lock`"
+    assert by_key["repro.core.memo:_bare"].discipline is None
+
+
+def test_percpu_and_freeze_wrappers_are_disciplined(tree):
+    _mod, items = inventory(tree, "repro/hw/cells.py", """\
+        from repro.hw.sync import PerCpu, freeze
+
+        _counters = PerCpu(dict)
+        _table = freeze({"hit": 1})
+        """)
+    disciplines = {i.key: i.discipline for i in items}
+    assert "per-CPU" in disciplines["repro.hw.cells:_counters"]
+    assert "frozen" in disciplines["repro.hw.cells:_table"]
+
+
+def test_reconcile_decorator_disciplines_an_aliasing_escape(tree):
+    source = """\
+        from repro.hw.sync import reconcile
+
+        class PageMetadata:
+            pass
+
+        class Store:
+            @reconcile("md", why="shared record is the design")
+            def get_or_create(self, key):
+                md = PageMetadata()
+                self._index[key] = md
+                return md
+
+            def undisciplined(self, key):
+                md = PageMetadata()
+                self._index[key] = md
+                return md
+        """
+    _mod, items = inventory(tree, "repro/core/meta.py", source)
+    by_key = {i.key: i for i in items}
+    assert "@reconcile" in by_key[
+        "repro.core.meta:Store.get_or_create:md"].discipline
+    assert by_key["repro.core.meta:Store.undisciplined:md"].discipline is None
+
+
+def test_inventoried_item_without_discipline_fires(tree):
+    """An item already in the committed report still fails SMP001
+    until it declares how it survives a second vCPU."""
+    tree.write("pyproject.toml", "[project]\nname = \"fixture\"\n")
+    mod = tree.module("repro/core/memo.py", "_cache = {}\n")
+    from repro.analysis.flow import ProjectContext
+    items = build_inventory(mod, ProjectContext([mod]))
+    tree.write("docs/SMP_READINESS.md", render_report(items))
+    findings = check(SmpAuditRule(), mod)
+    assert len(findings) == 1
+    assert "no declared concurrency discipline" in findings[0].message
+
+
+def test_disciplined_item_in_report_is_clean(tree):
+    tree.write("pyproject.toml", "[project]\nname = \"fixture\"\n")
+    mod = tree.module("repro/core/memo.py", """\
+        from repro.hw.sync import VLock
+
+        _cache = {}
+        _lock = VLock("memo.lock")
+        GUARDED_BY = {"_cache": "_lock"}
+        """)
+    from repro.analysis.flow import ProjectContext
+    items = build_inventory(mod, ProjectContext([mod]))
+    tree.write("docs/SMP_READINESS.md", render_report(items))
+    assert check(SmpAuditRule(), mod) == []
+
+
 def test_rule_fires_without_committed_report(tree):
     mod = tree.module("repro/core/memo.py", "_cache = {}\n")
     findings = check(SmpAuditRule(), mod)
