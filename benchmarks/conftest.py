@@ -63,6 +63,15 @@ def run_once(benchmark, fn, *args, **kwargs):
         f"same-process re-runs (cycle counters are not deterministic): "
         f"{drift}"
     )
+    # Results that define their own content hash (e.g. the fuzz
+    # campaign's CampaignReport) get the stronger byte-identity check:
+    # the serialized report, not just its comparable projection.
+    if callable(getattr(result, "digest", None)) \
+            and callable(getattr(replay, "digest", None)):
+        assert result.digest() == replay.digest(), (
+            f"experiment {getattr(fn, '__module__', fn)!s} replay produced "
+            f"a different serialized report"
+        )
     return result
 
 

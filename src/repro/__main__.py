@@ -9,6 +9,9 @@ Usage::
     python -m repro wallclock     # host-speed harness -> BENCH_wallclock.json
     python -m repro trace mb-read4k --cloaked --out trace.json
                                   # probe-bus trace -> Perfetto-loadable JSON
+    python -m repro fuzz           # seeded differential fuzzing campaign
+    python -m repro fuzz --replay 'SEED:{spec-json}'
+                                  # re-run one (seed, spec) reproducer
 """
 
 import sys
@@ -26,11 +29,13 @@ def _experiments() -> Dict[str, Callable]:
         exp_faults,
         exp_fileio,
         exp_forkexec,
+        exp_fuzz,
         exp_overhead,
         exp_pressure,
         exp_syscalls,
         exp_transitions,
         exp_webserver,
+        exp_fuzz,
     )
 
     return {
@@ -39,6 +44,7 @@ def _experiments() -> Dict[str, Callable]:
         "r-t3": exp_overhead.run,
         "r-t4": exp_attacks.run,
         "r-t5": exp_faults.run,
+        "r-t6": exp_fuzz.run,
         "r-f1": exp_compute.run,
         "r-f2": exp_fileio.run,
         "r-f3": exp_webserver.run,
@@ -59,6 +65,7 @@ DESCRIPTIONS = {
     "r-t3": "VMM resource overhead + event counts",
     "r-t4": "security evaluation (attack outcome matrix)",
     "r-t5": "fault-injection recovery matrix (extension)",
+    "r-t6": "differential fuzzing campaign over generated guests (extension)",
     "r-f1": "compute workloads, normalized runtime",
     "r-f2": "file-I/O bandwidth vs buffer size",
     "r-f3": "web-server throughput vs concurrency",
@@ -116,11 +123,80 @@ def _faults_main(args) -> int:
     return 1 if failures else 0
 
 
+def _fuzz_main(args) -> int:
+    """``python -m repro fuzz``: seeded differential fuzzing.
+
+    Default: a campaign of generated self-checking guest programs run
+    native-vs-cloaked under the oracle (``--seed``, ``--count``,
+    ``--fault-sites``, ``--no-shrink``, ``--out report.json``).
+    ``--replay 'SEED:{spec-json}'`` re-runs one reproducer exactly as
+    printed by a failing campaign.  ``--write-golden [PATH]``
+    regenerates the pinned listing digests consumed by
+    tests/gen/test_golden.py.
+    """
+    from repro.gen import driver
+    from repro.gen.generator import generate
+    from repro.gen.shrink import check_failure
+
+    def flag_value(name, default=None):
+        if name in args:
+            return args[args.index(name) + 1]
+        return default
+
+    if "--replay" in args:
+        token = flag_value("--replay")
+        seed, spec = driver.parse_replay_token(token)
+        plan = generate(seed, spec)
+        print(f"replaying {plan.name}: seed={seed} preset={spec.preset} "
+              f"ops={len(plan.ops)}")
+        for line in plan.listing():
+            print(f"  {line}")
+        kind, detail = check_failure(seed, spec)
+        if kind is None:
+            print("replay: PASS (native and cloaked agree, hygiene clean)")
+            return 0
+        print(f"replay: FAIL [{kind}] {detail}")
+        return 1
+
+    if "--write-golden" in args:
+        from repro.gen.golden import write_golden
+
+        index = args.index("--write-golden")
+        path = None
+        if index + 1 < len(args) and not args[index + 1].startswith("-"):
+            path = args[index + 1]
+        written = write_golden(path)
+        print(f"golden listings written: {written}")
+        return 0
+
+    report = driver.run_campaign(
+        campaign_seed=int(flag_value("--seed", 0)),
+        count=int(flag_value("--count", 64)),
+        fault_sites="--fault-sites" in args,
+        shrink_failures="--no-shrink" not in args,
+        verbose=True,
+    )
+    print(f"\nfuzz: {report.count} programs, "
+          f"{len(report.failures())} failures, "
+          f"syscalls missing {report.syscalls_missing() or 'none'}, "
+          f"fault sites {len(report.fault_sites)}/14")
+    print(f"report digest: {report.digest()}")
+    out = flag_value("--out")
+    if out is not None:
+        with open(out, "w") as sink:
+            sink.write(report.to_json())
+        print(f"report written: {out}")
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
 
     if args and args[0].lower() == "faults":
         return _faults_main([a.lower() for a in args[1:]])
+
+    if args and args[0].lower() == "fuzz":
+        return _fuzz_main(args[1:])
 
     if args and args[0].lower() == "wallclock":
         from repro.bench import wallclock

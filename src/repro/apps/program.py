@@ -194,11 +194,23 @@ class UserContext:
     def sync(self) -> SyscallOp:
         return self.syscall(Syscall.SYNC)
 
+    def sigprocmask(self, sig: int, block: bool) -> SyscallOp:
+        return self.syscall(Syscall.SIGPROCMASK, sig, 1 if block else 0)
+
+    def nanosleep(self, duration: int) -> SyscallOp:
+        return self.syscall(Syscall.NANOSLEEP, duration)
+
     # -- composite helpers (generators to use with ``yield from``) ----------------
 
     def put_string(self, text: str) -> "OpGen":
         """Store a string in scratch space; returns (vaddr, length)."""
         data = text.encode()
+        vaddr = self.scratch(len(data) or 1)
+        yield self.store(vaddr, data or b"\x00")
+        return vaddr, len(data)
+
+    def put_bytes(self, data: bytes) -> "OpGen":
+        """Store raw bytes in scratch space; returns (vaddr, length)."""
         vaddr = self.scratch(len(data) or 1)
         yield self.store(vaddr, data or b"\x00")
         return vaddr, len(data)
@@ -221,6 +233,21 @@ class UserContext:
             data = yield self.load(vaddr, count)
         else:
             data = b""
+        return data
+
+    def read_exact(self, fd: int, nbytes: int) -> "OpGen":
+        """Read until exactly ``nbytes`` arrived (looping over short
+        reads) or the stream ended; returns the bytes collected."""
+        vaddr = self.scratch(nbytes or 1)
+        got = 0
+        while got < nbytes:
+            count = yield self.read(fd, vaddr + got, nbytes - got)
+            if not isinstance(count, int) or count <= 0:
+                break
+            got += count
+        if got <= 0:
+            return b""
+        data = yield self.load(vaddr, got)
         return data
 
     def print(self, text: str) -> "OpGen":

@@ -23,6 +23,11 @@ ALL_PROGRAMS = (
 )
 
 
+#: Programs a generated guest (:mod:`repro.gen`) may ``exec``.  Kept
+#: tiny so every fuzz run registers only this baseline, not the suite.
+GEN_EXEC_TARGETS = ("mb-empty",)
+
+
 def register_all(machine: Machine, cloaked: bool = False,
                  only: Optional[Iterable[str]] = None) -> None:
     """Register the whole suite on ``machine`` (cloaked or native)."""
@@ -30,6 +35,14 @@ def register_all(machine: Machine, cloaked: bool = False,
     for program_cls in ALL_PROGRAMS:
         if wanted is not None and program_cls.name not in wanted:
             continue
+        machine.register(program_cls, cloaked=cloaked)
+
+
+def register_programs(machine: Machine, classes: Iterable[type],
+                      cloaked: bool = False) -> None:
+    """Register ad-hoc program classes (generated programs live
+    outside :data:`ALL_PROGRAMS`)."""
+    for program_cls in classes:
         machine.register(program_cls, cloaked=cloaked)
 
 

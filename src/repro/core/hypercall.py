@@ -28,6 +28,7 @@ class Hypercall(enum.Enum):
     ADOPT_IMAGE = 10      # (start_vaddr, length) -> None (verify + adopt)
     CHANNEL_SEAL = 11     # (channel_id, seq, data) -> sealed record
     CHANNEL_OPEN = 12     # (channel_id, seq, record) -> plaintext
+    PAGE_RECYCLE = 13     # (start_vpn, npages) -> int (discard recycled pages)
 
 
 class HypercallDispatcher:

@@ -41,7 +41,7 @@ _CLASSIFICATION = {
     Syscall.TRUNCATE: SyscallClass.EMULATED_IO,
     Syscall.MMAP: SyscallClass.SPECIAL,
     Syscall.MUNMAP: SyscallClass.SPECIAL,
-    Syscall.BRK: SyscallClass.PASS_THROUGH,      # heap range pre-cloaked
+    Syscall.BRK: SyscallClass.SPECIAL,           # shrink recycles cloaked pages
     Syscall.FORK: SyscallClass.SPECIAL,
     Syscall.EXEC: SyscallClass.SPECIAL,
     Syscall.WAITPID: SyscallClass.PASS_THROUGH,

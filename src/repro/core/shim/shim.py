@@ -17,7 +17,7 @@ Thereafter every syscall the application issues is adapted per
 :mod:`repro.core.shim.protocol`.
 """
 
-from typing import Callable, Iterator, List, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 # repro: allow(API001) — the shim runs *inside* the application's
 # address space (paper §3.3) and is linked against the program model;
@@ -60,6 +60,10 @@ class ShimRuntime(BaseRuntime):
         self.marshalled_calls = 0
         self.emulated_calls = 0
         self.passthrough_calls = 0
+        #: Last observed heap break, for shrink detection (None until
+        #: the first BRK; lazily initialised so brk-free and grow-only
+        #: programs never pay an extra query syscall).
+        self._brk_seen: Optional[int] = None
 
     # ------------------------------------------------------------------
     # runtime plumbing
@@ -200,6 +204,9 @@ class ShimRuntime(BaseRuntime):
             return result
         if number is Syscall.MUNMAP:
             result = yield from self._adapt_munmap(op)
+            return result
+        if number is Syscall.BRK:
+            result = yield from self._adapt_brk(op)
             return result
         if number is Syscall.EXEC:
             result = yield from self._adapt_path_call(op)
@@ -385,4 +392,38 @@ class ShimRuntime(BaseRuntime):
         npages = layout.page_count(length)
         yield HypercallOp(Hypercall.UNCLOAK_RANGE, (vpn, vpn + npages))
         result = yield op
+        return result
+
+    def _adapt_brk(self, op: SyscallOp):
+        """Heap-break tracking: a shrink hands pages back to the OS, so
+        the released range must be recycled with the VMM *before* the
+        kernel frees (and possibly reassigns) the frames.  Otherwise
+        stale page metadata survives and a later re-grow of the same
+        vaddrs trips integrity verification on the fresh zero frames.
+
+        The break is tracked lazily from observed BRK results; only a
+        suspected shrink pays an extra ``brk(0)`` query (threads share
+        the heap, so a locally tracked value may be stale)."""
+        (new_brk,) = op.args
+        if new_brk == 0:
+            result = yield op
+            if isinstance(result, int) and result > 0:
+                self._brk_seen = result
+            return result
+        if new_brk >= layout.HEAP_BASE and (
+                self._brk_seen is None or new_brk < self._brk_seen):
+            current = yield SyscallOp(Syscall.BRK, (0,))
+            if isinstance(current, int) and current > 0:
+                self._brk_seen = current
+                if new_brk < current:
+                    old_pages = layout.page_count(current - layout.HEAP_BASE)
+                    # The kernel always keeps the first heap page mapped.
+                    keep = max(layout.page_count(new_brk - layout.HEAP_BASE), 1)
+                    if old_pages > keep:
+                        heap_vpn = layout.vpn_of(layout.HEAP_BASE)
+                        yield HypercallOp(Hypercall.PAGE_RECYCLE,
+                                          (heap_vpn + keep, old_pages - keep))
+        result = yield op
+        if isinstance(result, int) and result > 0:
+            self._brk_seen = result
         return result

@@ -412,6 +412,7 @@ class VMM(TranslationAuthority):
         reg(Hypercall.ADOPT_IMAGE, self._hc_adopt_image)
         reg(Hypercall.CHANNEL_SEAL, self._hc_channel_seal)
         reg(Hypercall.CHANNEL_OPEN, self._hc_channel_open)
+        reg(Hypercall.PAGE_RECYCLE, self._hc_page_recycle)
 
     def _hc_cloak_init(self, caller: int, name: str, image: bytes,
                        pid: int) -> int:
@@ -492,6 +493,34 @@ class VMM(TranslationAuthority):
                 self._invalidate_frame_mappings(gpfn)
             self.metadata.remove(domain.domain_id, vpn)
             count += 1
+        return count
+
+    def _hc_page_recycle(self, caller: int, start_vpn: int, npages: int) -> int:
+        """Unmap notification: the shim is releasing cloaked pages back
+        to the OS (brk shrink).  Their contents are dead, so securely
+        discard them — zero any resident plaintext frame and forget the
+        metadata — while the range itself stays cloaked; a later
+        re-grow demand-faults the pages back as fresh zero-fills
+        instead of tripping integrity verification on stale records.
+        Idempotent: recycling an already-forgotten page is a no-op."""
+        domain = self.domains.get(caller)
+        count = 0
+        for vpn in range(start_vpn, start_vpn + npages):
+            if not domain.is_cloaked(vpn):
+                continue
+            md = self.metadata.lookup(domain.domain_id, vpn)
+            if md is None:
+                continue
+            if md.state in (CloakState.PLAINTEXT_CLEAN,
+                            CloakState.PLAINTEXT_DIRTY) \
+                    and md.resident_gpfn is not None:
+                self._phys.zero_frame(md.resident_gpfn)
+                self._cycles.charge("vmm", self._costs.zero_fill)
+                self._invalidate_frame_mappings(md.resident_gpfn)
+            self.metadata.remove(domain.domain_id, vpn)
+            count += 1
+        if count:
+            self.stats.bump("vmm.pages_recycled", count)
         return count
 
     def _hc_adopt_image(self, caller: int, start_vaddr: int, length: int) -> None:

@@ -207,6 +207,9 @@ class FaultySwap:
     def has_slot(self, asid: int, vpn: int) -> bool:
         return self._inner.has_slot(asid, vpn)
 
+    def drop_slot(self, asid: int, vpn: int) -> bool:
+        return self._inner.drop_slot(asid, vpn)
+
     def drop_address_space(self, asid: int) -> int:
         return self._inner.drop_address_space(asid)
 
@@ -223,6 +226,7 @@ IDEMPOTENT_HYPERCALLS = frozenset({
     Hypercall.GET_IDENTITY,
     Hypercall.CHANNEL_SEAL,
     Hypercall.CHANNEL_OPEN,
+    Hypercall.PAGE_RECYCLE,
 })
 
 

@@ -36,7 +36,8 @@ Overshadow promises privacy and integrity, never progress.
 import hashlib
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.apps.registry import ALL_PROGRAMS, make_secure_dirs, register_all
+from repro.apps.registry import (ALL_PROGRAMS, GEN_EXEC_TARGETS,
+                                 make_secure_dirs, register_all)
 from repro.apps.secrets import SECRET
 from repro.core.errors import OvershadowError
 from repro.core.metadata import FILE_BINDING_FLAG
@@ -115,7 +116,7 @@ class AppSpec:
     """How the oracle drives one registered program."""
 
     __slots__ = ("name", "argv", "files", "setup", "peers", "params",
-                 "marker", "max_ops")
+                 "marker", "max_ops", "program")
 
     def __init__(self, name: str, argv: Tuple[str, ...] = (),
                  files: Tuple[str, ...] = (),
@@ -123,7 +124,8 @@ class AppSpec:
                  peers: Optional[Callable[[Machine], None]] = None,
                  params: Optional[Callable[[], MachineParams]] = None,
                  marker: Optional[bytes] = None,
-                 max_ops: int = 20_000_000):
+                 max_ops: int = 20_000_000,
+                 program: Optional[type] = None):
         self.name = name
         self.argv = argv
         #: Paths whose final logical contents are part of the
@@ -136,6 +138,11 @@ class AppSpec:
         #: after a cloaked run.
         self.marker = marker
         self.max_ops = max_ops
+        #: A Program class registered directly (generated programs,
+        #: which live outside ALL_PROGRAMS).  ``name`` must match its
+        #: ``name`` attribute.  Only ``mb-empty`` (the exec target) is
+        #: co-registered, not the full registry.
+        self.program = program
 
 
 def _build_specs() -> Dict[str, AppSpec]:
@@ -284,12 +291,25 @@ def _marker_visible(machine: Machine, marker: bytes) -> bool:
 
 
 def run_once(spec: AppSpec, cloaked: bool,
-             plan: Optional[FaultPlan] = None) -> RunRecord:
-    """Build a fresh machine, run one spec, capture its state."""
+             plan: Optional[FaultPlan] = None,
+             tweak: Optional[Callable[[Machine], None]] = None) -> RunRecord:
+    """Build a fresh machine, run one spec, capture its state.
+
+    ``tweak`` runs right after the machine is built, before any
+    program registration — the hook the fuzz driver uses to attach
+    observability sinks (coverage accounting) and mutation tests use
+    to sabotage engine internals.
+    """
     params = spec.params() if spec.params is not None else None
     machine = Machine(params=params, fault_plan=plan)
+    if tweak is not None:
+        tweak(machine)
     make_secure_dirs(machine)
-    register_all(machine, cloaked=cloaked)
+    if spec.program is not None:
+        register_all(machine, cloaked=cloaked, only=GEN_EXEC_TARGETS)
+        machine.register(spec.program, cloaked=cloaked)
+    else:
+        register_all(machine, cloaked=cloaked)
     if spec.setup is not None:
         spec.setup(machine)
     if spec.peers is not None:
@@ -363,28 +383,43 @@ def _diff_state(a: RunRecord, b: RunRecord) -> str:
     return ""
 
 
-def check_app(name: str) -> ConformanceResult:
-    """Run one program's full differential check (4 runs)."""
-    spec = ORACLE_SPECS[name]
-    native = run_once(spec, cloaked=False)
-    native2 = run_once(spec, cloaked=False)
-    cloaked = run_once(spec, cloaked=True)
-    cloaked2 = run_once(spec, cloaked=True)
+def check_spec(spec: AppSpec, determinism: bool = True,
+               tweak: Optional[Callable[[Machine], None]] = None,
+               ) -> ConformanceResult:
+    """Run one spec's full differential check.
+
+    Four runs (two native, two cloaked) when ``determinism`` is on;
+    two otherwise — the fuzz driver samples determinism rather than
+    paying double on every program.  ``tweak`` is forwarded to every
+    run so comparisons stay apples-to-apples.
+    """
+    native = run_once(spec, cloaked=False, tweak=tweak)
+    cloaked = run_once(spec, cloaked=True, tweak=tweak)
 
     detail = []
     transparent = native.state() == cloaked.state()
     if not transparent:
         detail.append("native/cloaked: " + _diff_state(native, cloaked))
-    deterministic = native.identical(native2) and cloaked.identical(cloaked2)
-    if not deterministic:
-        detail.append("same-seed re-run diverged")
+    deterministic = True
+    if determinism:
+        native2 = run_once(spec, cloaked=False, tweak=tweak)
+        cloaked2 = run_once(spec, cloaked=True, tweak=tweak)
+        deterministic = (native.identical(native2)
+                         and cloaked.identical(cloaked2))
+        if not deterministic:
+            detail.append("same-seed re-run diverged")
     clean = not cloaked.violations and not cloaked.exposed
     if cloaked.violations:
         detail.append(f"violations in fault-free run: {cloaked.violations}")
     if cloaked.exposed:
         detail.append("marker exposed after cloaked run")
-    return ConformanceResult(name, transparent, deterministic, clean,
+    return ConformanceResult(spec.name, transparent, deterministic, clean,
                              "; ".join(detail))
+
+
+def check_app(name: str) -> ConformanceResult:
+    """Run one program's full differential check (4 runs)."""
+    return check_spec(ORACLE_SPECS[name])
 
 
 def run_conformance(names: Optional[Tuple[str, ...]] = None,

@@ -213,6 +213,26 @@ class FaultArm:
             rule += f",limit={self.limit}"
         return f"{self.site}@{rule}"
 
+    @classmethod
+    def parse(cls, text: str) -> "FaultArm":
+        """Inverse of :meth:`spec`: ``site@rule[,limit=N]``."""
+        site, sep, rules = text.strip().partition("@")
+        if not sep or not rules:
+            raise ValueError(f"bad arm spec {text!r} (want site@rule)")
+        kwargs: Dict[str, object] = {}
+        for clause in rules.split(","):
+            key, sep, value = clause.strip().partition("=")
+            if not sep:
+                raise ValueError(f"bad arm clause {clause!r} in {text!r}")
+            key = key.strip()
+            if key in ("nth", "every", "limit"):
+                kwargs[key] = int(value)
+            elif key == "probability":
+                kwargs[key] = float(value)
+            else:
+                raise ValueError(f"unknown arm clause {key!r} in {text!r}")
+        return cls(site, **kwargs)
+
     def __repr__(self) -> str:
         return f"FaultArm({self.spec()})"
 
@@ -254,6 +274,44 @@ class FaultPlan:
     def once(cls, site: str, seed: int = 0, nth: int = 0) -> "FaultPlan":
         """Arm a single site to fire at its nth opportunity."""
         return cls(seed, [FaultArm(site, nth=nth)])
+
+    @classmethod
+    def audit(cls, seed: int = 0) -> "FaultPlan":
+        """Arm every site so far out it never fires.
+
+        Opportunities are only counted while a site is armed, so an
+        audit plan measures *fault-site opportunity coverage* of a
+        workload — which sites a program actually walks past — without
+        perturbing a single cycle of the run.
+        """
+        return cls(seed, [FaultArm(site, nth=2 ** 62)
+                          for site in INJECTION_POINTS])
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Inverse of :meth:`replay_spec`:
+        ``FaultPlan(seed=7, arms=[site@nth=3, ...])`` (the wrapper and
+        arm list are both optional: ``7: site@every=2`` also parses).
+        """
+        body = text.strip()
+        if body.startswith("FaultPlan(") and body.endswith(")"):
+            body = body[len("FaultPlan("):-1]
+        seed = 0
+        arm_text = body
+        if "arms=" in body:
+            seed_part, __, arm_text = body.partition("arms=")
+            seed_part = seed_part.strip().rstrip(",").strip()
+            if seed_part.startswith("seed="):
+                seed = int(seed_part[len("seed="):])
+            arm_text = arm_text.strip()
+            if arm_text.startswith("[") and arm_text.endswith("]"):
+                arm_text = arm_text[1:-1]
+        elif ":" in body.split("@")[0]:
+            seed_part, __, arm_text = body.partition(":")
+            seed = int(seed_part)
+        arms = [FaultArm.parse(chunk)
+                for chunk in arm_text.split(", ") if chunk.strip()]
+        return cls(seed, arms)
 
     def arms(self) -> Tuple[FaultArm, ...]:
         return tuple(self._arms.values())

@@ -1,0 +1,56 @@
+"""Pinned golden listings: seed-stability of the generator.
+
+The replay contract — any failure reproduces from ``(seed, spec)``
+alone — only holds while generation stays a pure function of that
+pair.  This module pins one canonical ``(seed, preset)`` per preset to
+its listing digest; tests/gen/test_golden.py compares a fresh
+generation against the committed snapshot, so any change to emission
+order, baking, or op rendering shows up as an explicit diff instead of
+silently orphaning every replay token in old failure reports.
+
+Intentional generator changes regenerate the snapshot with::
+
+    python -m repro fuzz --write-golden
+"""
+
+import json
+import os
+from typing import Dict, Optional
+
+from repro.gen.generator import generate
+from repro.gen.spec import PRESETS, PRESET_ROTATION, derive_seed
+
+#: Campaign seed the golden programs derive from.
+GOLDEN_SEED = 2026
+
+#: Repo-relative default target (the CLI runs from the repo root).
+DEFAULT_PATH = os.path.join("tests", "gen", "golden_listings.json")
+
+
+def snapshot() -> Dict[str, Dict]:
+    """Freshly generate every golden program's identity."""
+    out: Dict[str, Dict] = {}
+    for index, preset in enumerate(PRESET_ROTATION):
+        seed = derive_seed(GOLDEN_SEED, index)
+        plan = generate(seed, PRESETS[preset])
+        out[preset] = {
+            "seed": seed,
+            "digest": plan.digest,
+            "ops": len(plan.ops),
+            "structural": plan.structural_count,
+            "syscalls": sorted(plan.syscalls),
+        }
+    return out
+
+
+def write_golden(path: Optional[str] = None) -> str:
+    path = path or DEFAULT_PATH
+    with open(path, "w") as sink:
+        json.dump(snapshot(), sink, indent=2, sort_keys=True)
+        sink.write("\n")
+    return path
+
+
+def load_golden(path: Optional[str] = None) -> Dict[str, Dict]:
+    with open(path or DEFAULT_PATH) as source:
+        return json.load(source)

@@ -1,0 +1,119 @@
+"""Greedy delta-debugging shrinker for failing generated programs.
+
+A failure is replayable from its ``(seed, spec)`` pair, and the spec's
+``drop`` set removes structural ops *before* the dependency-closing
+sweep — so shrinking is a search over subsets of structural indices
+that still reproduce the failure.  The search is classic chunked
+ddmin: try removing halves, then quarters, ... down to single ops,
+keeping any removal that preserves the original failure *kind*
+(a divergence must stay a divergence; sliding into an unrelated
+generator crash would shrink to the wrong bug).
+
+The result is locally minimal — no single remaining structural op can
+be dropped — and carries a paste-able replay token.
+"""
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.faults.oracle import AppSpec, _diff_state, _pressure_params, \
+    run_once
+from repro.gen.generator import build_program, generate
+from repro.gen.spec import GenSpec
+from repro.machine import Machine
+
+#: Failure kinds the reduced predicate can reproduce (and therefore
+#: shrink).  Nondeterminism and fault-escape need re-runs / armed
+#: plans and are reported unshrunk.
+FAILURE_KINDS = ("genfail", "divergence", "exposure", "violation")
+
+
+def check_failure(seed: int, spec: GenSpec,
+                  cloak_tweak: Optional[Callable[[Machine], None]] = None,
+                  ) -> Tuple[Optional[str], str]:
+    """The reduced failure predicate: one native run, one cloaked run.
+
+    Returns ``(kind, detail)`` with ``kind`` from
+    :data:`FAILURE_KINDS`, or ``(None, "")`` when the pair is healthy.
+    """
+    plan = generate(seed, spec)
+    app = AppSpec(
+        name=plan.name, argv=(), files=plan.files, marker=plan.marker,
+        params=_pressure_params if spec.pressure else None,
+        program=build_program(plan),
+    )
+    native = run_once(app, cloaked=False)
+    if native.exit_code != 0:
+        return "genfail", (f"native exit {native.exit_code}: "
+                           f"{native.console[-120:].decode(errors='replace')}")
+    cloaked = run_once(app, cloaked=True, tweak=cloak_tweak)
+    if cloaked.exposed:
+        return "exposure", "marker kernel-visible after cloaked run"
+    if cloaked.violations:
+        return "violation", f"fault-free violations: {cloaked.violations}"
+    if native.state() != cloaked.state():
+        return "divergence", _diff_state(native, cloaked)
+    return None, ""
+
+
+class ShrinkResult:
+    """A locally minimal reproducer for one failure."""
+
+    __slots__ = ("seed", "spec", "kind", "detail", "ops_before", "ops_after",
+                 "checks")
+
+    def __init__(self, seed: int, spec: GenSpec, kind: str, detail: str,
+                 ops_before: int, ops_after: int, checks: int):
+        self.seed = seed
+        #: The shrunk spec: the original with a maximal ``drop`` set.
+        self.spec = spec
+        self.kind = kind
+        self.detail = detail
+        #: Emitted op counts (after the dependency sweep), full vs shrunk.
+        self.ops_before = ops_before
+        self.ops_after = ops_after
+        #: Predicate evaluations the search spent.
+        self.checks = checks
+
+    @property
+    def replay(self) -> str:
+        return f"{self.seed}:{self.spec.to_json()}"
+
+    def __repr__(self) -> str:
+        return (f"ShrinkResult({self.kind}, ops {self.ops_before}->"
+                f"{self.ops_after}, checks={self.checks})")
+
+
+def shrink(seed: int, spec: GenSpec,
+           cloak_tweak: Optional[Callable[[Machine], None]] = None,
+           max_checks: int = 160) -> ShrinkResult:
+    """ddmin over the structural op indices of ``(seed, spec)``."""
+    kind, detail = check_failure(seed, spec, cloak_tweak)
+    if kind is None:
+        raise ValueError(
+            f"(seed={seed}, spec) does not fail; nothing to shrink")
+    ops_before = len(generate(seed, spec).ops)
+
+    alive: List[int] = sorted(
+        set(range(generate(seed, spec).structural_count)) - set(spec.drop))
+    checks = 1
+    chunk = max(len(alive) // 2, 1)
+    while True:
+        index = 0
+        while index < len(alive) and checks < max_checks:
+            removed = alive[index:index + chunk]
+            trial = spec.replace(
+                drop=tuple(sorted(set(spec.drop) | set(removed))))
+            trial_kind, trial_detail = check_failure(seed, trial, cloak_tweak)
+            checks += 1
+            if trial_kind == kind:
+                spec, detail = trial, trial_detail
+                del alive[index:index + chunk]
+            else:
+                index += chunk
+        if chunk == 1 or checks >= max_checks:
+            break
+        chunk = max(chunk // 2, 1)
+
+    ops_after = len(generate(seed, spec).ops)
+    return ShrinkResult(seed, spec, kind, detail, ops_before, ops_after,
+                        checks)

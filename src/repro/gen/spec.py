@@ -1,0 +1,208 @@
+"""GenSpec: the declarative half of the ``(seed, spec)`` replay contract.
+
+A spec names a *distribution* over guest programs; a seed picks one
+program from it.  Together they are the complete reproducer for any
+fuzzing result: the structural op stream is a pure function of
+``(seed, spec-without-drop)``, and the ``drop`` index set (used by the
+shrinker) removes ops *after* generation, so shrunk reproducers stay
+expressible in the same vocabulary.
+
+Serialisation is canonical JSON (sorted keys, no whitespace) so spec
+strings can be pasted from failure messages into
+``python -m repro fuzz --replay`` and so golden digests are stable.
+"""
+
+import hashlib
+import json
+from typing import Dict, Optional, Tuple
+
+#: Op-mix categories a weight can be assigned to.  Each category names
+#: a family of self-checking composites in :mod:`repro.gen.generator`.
+CATEGORIES: Tuple[str, ...] = (
+    "compute",   # ALU batches, register set/verify
+    "mem",       # scratch store/load/copy round-trips
+    "file",      # stateful open/write/seek/truncate/read-back/close
+    "junk",      # model-free ABI sweep: mkdir/rename/unlink/readdir/dup2...
+    "mmap",      # anonymous + file-backed map/touch/unmap
+    "heap",      # brk grow/shrink with fresh-zero verification
+    "proc",      # fork/exec/kill/wait protocols over pipes and files
+    "thread",    # thread_create/join with private write buffers
+    "ipc",       # self-pipe byte round-trips
+    "signal",    # self-directed signal storms, masking, dispositions
+    "secret",    # secret-marker placement in memory and /secure files
+    "misc",      # getpid/getppid/gettime/nanosleep/yield/sync
+)
+
+
+class GenSpec:
+    """Parameters of one generated-program distribution."""
+
+    __slots__ = ("preset", "ops", "weights", "max_children", "max_threads",
+                 "payload", "secret", "pressure", "sabotage", "drop")
+
+    def __init__(self, preset: str = "default", ops: int = 28,
+                 weights: Optional[Dict[str, int]] = None,
+                 max_children: int = 3, max_threads: int = 2,
+                 payload: int = 96, secret: bool = True,
+                 pressure: bool = False, sabotage: str = "",
+                 drop: Tuple[int, ...] = ()):
+        self.preset = str(preset)
+        self.ops = int(ops)
+        self.weights = dict(weights) if weights is not None else {
+            category: 1 for category in CATEGORIES
+        }
+        self.max_children = int(max_children)
+        self.max_threads = int(max_threads)
+        #: Upper bound on any single generated payload, bytes.
+        self.payload = int(payload)
+        self.secret = bool(secret)
+        #: Run under reclaim-heavy MachineParams (swap traffic).
+        self.pressure = bool(pressure)
+        #: Deliberate divergence for shrinker/oracle self-tests:
+        #: "" (none) or "time-print" (prints a virtual-cycle read, which
+        #: legally differs native-vs-cloaked -> transparency failure).
+        self.sabotage = str(sabotage)
+        #: Structural op indices removed post-generation (shrinker).
+        self.drop = tuple(sorted(set(int(i) for i in drop)))
+        self.validate()
+
+    # -- validation -----------------------------------------------------
+
+    def validate(self) -> None:
+        if self.ops < 1 or self.ops > 4096:
+            raise ValueError(f"ops must be in [1, 4096], got {self.ops}")
+        if not self.weights:
+            raise ValueError("weights must not be empty")
+        for category, weight in self.weights.items():
+            if category not in CATEGORIES:
+                raise ValueError(
+                    f"unknown category {category!r} "
+                    f"(known: {', '.join(CATEGORIES)})"
+                )
+            if not isinstance(weight, int) or weight < 0:
+                raise ValueError(f"weight for {category!r} must be an int >= 0")
+        if all(weight == 0 for weight in self.weights.values()):
+            raise ValueError("at least one category weight must be positive")
+        if self.max_children < 0 or self.max_children > 8:
+            raise ValueError("max_children must be in [0, 8]")
+        if self.max_threads < 0 or self.max_threads > 8:
+            raise ValueError("max_threads must be in [0, 8]")
+        if self.payload < 16 or self.payload > 8192:
+            raise ValueError("payload must be in [16, 8192]")
+        if self.sabotage not in ("", "time-print"):
+            raise ValueError(f"unknown sabotage {self.sabotage!r}")
+        if any(i < 0 for i in self.drop):
+            raise ValueError("drop indices must be >= 0")
+
+    # -- serialisation --------------------------------------------------
+
+    def to_dict(self, with_drop: bool = True) -> Dict:
+        data = {
+            "preset": self.preset,
+            "ops": self.ops,
+            "weights": {k: v for k, v in sorted(self.weights.items())},
+            "max_children": self.max_children,
+            "max_threads": self.max_threads,
+            "payload": self.payload,
+            "secret": self.secret,
+            "pressure": self.pressure,
+            "sabotage": self.sabotage,
+        }
+        if with_drop:
+            data["drop"] = list(self.drop)
+        return data
+
+    def to_json(self) -> str:
+        """Canonical one-line spec string (paste into ``--replay``)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "GenSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"bad spec JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ValueError("spec JSON must be an object")
+        known = {slot for slot in cls.__slots__}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+        return cls(**{key: (tuple(value) if key == "drop" else value)
+                      for key, value in data.items()})
+
+    def replace(self, **overrides) -> "GenSpec":
+        """A copy with the given fields replaced (drop lists included)."""
+        data = self.to_dict()
+        data.update(overrides)
+        return GenSpec(**{key: (tuple(value) if key == "drop" else value)
+                          for key, value in data.items()})
+
+    # -- identity -------------------------------------------------------
+
+    def structural_key(self) -> str:
+        """Canonical JSON *without* ``drop``: the structural op stream
+        is a pure function of (seed, structural_key)."""
+        return json.dumps(self.to_dict(with_drop=False), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self) -> str:
+        """Stable identity of the full spec, drop set included."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, GenSpec) and self.to_json() == other.to_json()
+
+    def __hash__(self) -> int:
+        return hash(self.to_json())
+
+    def __repr__(self) -> str:
+        return f"GenSpec({self.to_json()})"
+
+
+def derive_seed(campaign_seed: int, index: int) -> int:
+    """Per-program seed: an independent substream per campaign slot.
+
+    Pure function of (campaign seed, slot), so any program of a
+    campaign is replayable without re-running its predecessors.
+    """
+    digest = hashlib.sha256(f"repro.gen:{campaign_seed}:{index}".encode())
+    return int.from_bytes(digest.digest()[:8], "little")
+
+
+def _weights(**overrides) -> Dict[str, int]:
+    weights = {category: 1 for category in CATEGORIES}
+    weights.update(overrides)
+    return weights
+
+
+#: Named spec presets.  The golden-listing test pins the first five;
+#: campaigns rotate through all of them by default.
+PRESETS: Dict[str, GenSpec] = {
+    "default": GenSpec("default"),
+    "fileio": GenSpec(
+        "fileio", ops=32,
+        weights=_weights(file=6, junk=3, mmap=2, proc=0, thread=0, signal=0),
+    ),
+    "forktree": GenSpec(
+        "forktree", ops=20, max_children=4,
+        weights=_weights(proc=6, ipc=2, file=2, mmap=0, heap=0, junk=0),
+    ),
+    "memstorm": GenSpec(
+        "memstorm", ops=32, pressure=True,
+        weights=_weights(mem=5, mmap=4, heap=4, proc=0, thread=0, junk=0),
+    ),
+    "sigstorm": GenSpec(
+        "sigstorm", ops=28,
+        weights=_weights(signal=6, misc=3, thread=2, proc=1, file=0, junk=0),
+    ),
+    "secrets": GenSpec(
+        "secrets", ops=28, pressure=True,
+        weights=_weights(secret=6, file=2, mem=2, proc=0, junk=0),
+    ),
+}
+
+#: Campaign rotation order (deterministic; dict order is insertion
+#: order but spelling it out keeps the contract explicit).
+PRESET_ROTATION: Tuple[str, ...] = tuple(PRESETS)

@@ -80,6 +80,14 @@ class BlockCache:
         self._dma.write_frame(gpfn, self._disk.read_block(lba))
         return True
 
+    def drop_page(self, inode_id: int, page_index: int) -> bool:
+        """Release one page's block, if allocated."""
+        lba = self._blocks.pop((inode_id, page_index), None)
+        if lba is None:
+            return False
+        self._free.append(lba)
+        return True
+
     def drop_file(self, inode_id: int) -> int:
         """Release all blocks of a deleted file."""
         victims = [key for key in self._blocks if key[0] == inode_id]

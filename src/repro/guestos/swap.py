@@ -45,6 +45,10 @@ class SwapSpace:
     def has_slot(self, asid: int, vpn: int) -> bool:
         return self._cache.block_of(self._pseudo_inode(asid), vpn) is not None
 
+    def drop_slot(self, asid: int, vpn: int) -> bool:
+        """Invalidate one slot (the page was unmapped, not faulted in)."""
+        return self._cache.drop_page(self._pseudo_inode(asid), vpn)
+
     def drop_address_space(self, asid: int) -> int:
         return self._cache.drop_file(self._pseudo_inode(asid))
 

@@ -87,6 +87,9 @@ def sys_brk(kernel, proc: Process, args, extra):
             pfn = aspace.unmap_page(vpn)
             if pfn is not None:
                 kernel.alloc.free(pfn)
+            # A released page may be in swap rather than resident; a
+            # stale slot would resurrect its old contents on regrow.
+            kernel.reclaimer.swap.drop_slot(proc.asid, vpn)
         heap_vma.npages = keep
     aspace.brk_vaddr = new_brk
     return new_brk

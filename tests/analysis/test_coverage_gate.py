@@ -84,13 +84,34 @@ def _exercise() -> None:
             yield ctx.unlink(g_vaddr, g_len)
             return 0
 
+    # Heap recycling: a brk shrink hands cloaked pages back to the OS
+    # (the PAGE_RECYCLE unmap notification), and the re-grow must
+    # demand-fault them back as fresh zero-fills.
+    from repro.hw.params import PAGE_SIZE
+
+    class HeapCycler(Program):
+        name = "heapcycler"
+
+        def main(self, ctx):
+            base = yield ctx.brk(0)
+            yield ctx.brk(base + 3 * PAGE_SIZE)
+            yield ctx.store(base + 2 * PAGE_SIZE, b"resident secret")
+            yield ctx.brk(base)
+            yield ctx.brk(base + 3 * PAGE_SIZE)
+            got = yield ctx.load(base + 2 * PAGE_SIZE, 15)
+            assert got == b"\x00" * 15
+            yield ctx.brk(base)
+            return 0
+
     machine = fresh_machine(cloaked=True, programs=("mb-readsec4k",))
     machine.register(PathWalker, cloaked=True)
+    machine.register(HeapCycler, cloaked=True)
     recorder = TraceRecorder()
     bus.attach(recorder, machine.cycles)
     try:
         measure_program(machine, "mb-readsec4k", ("2",))
         measure_program(machine, "pathwalker", ())
+        measure_program(machine, "heapcycler", ())
     finally:
         bus.detach(recorder)
 

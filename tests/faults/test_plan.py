@@ -102,3 +102,48 @@ class TestRegistry:
         spec = plan.replay_spec()
         assert "seed=42" in spec
         assert SITE_SWAPIN_CORRUPT in spec and SITE_TLB_FLUSH_LOST in spec
+
+
+class TestParse:
+    def test_arm_spec_round_trips(self):
+        for arm in (FaultArm(SITE_DISK_READ_BITFLIP, nth=3),
+                    FaultArm(SITE_TLB_FLUSH_LOST, every=2, limit=5),
+                    FaultArm(SITE_SWAPIN_CORRUPT, probability=0.25)):
+            again = FaultArm.parse(arm.spec())
+            assert again.spec() == arm.spec()
+
+    def test_arm_parse_rejects_garbage(self):
+        for bad in ("no-at-sign", f"{SITE_TLB_FLUSH_LOST}@",
+                    f"{SITE_TLB_FLUSH_LOST}@turbo=1",
+                    f"{SITE_TLB_FLUSH_LOST}@nth"):
+            with pytest.raises(ValueError):
+                FaultArm.parse(bad)
+
+    def test_plan_replay_spec_round_trips(self):
+        plan = FaultPlan(seed=42, arms=(
+            FaultArm(SITE_SWAPIN_CORRUPT, nth=1),
+            FaultArm(SITE_TLB_FLUSH_LOST, every=3, limit=2),
+        ))
+        again = FaultPlan.parse(plan.replay_spec())
+        assert again.replay_spec() == plan.replay_spec()
+
+    def test_plan_parse_shorthand_forms(self):
+        plan = FaultPlan.parse(f"7: {SITE_TLB_FLUSH_LOST}@every=2")
+        assert plan.seed == 7
+        assert plan.is_armed(SITE_TLB_FLUSH_LOST)
+        bare = FaultPlan.parse(f"{SITE_SWAPIN_CORRUPT}@nth=0")
+        assert bare.seed == 0
+        assert bare.is_armed(SITE_SWAPIN_CORRUPT)
+
+
+class TestAudit:
+    def test_audit_arms_every_site(self):
+        plan = FaultPlan.audit(seed=9)
+        assert {arm.site for arm in plan.arms()} == set(INJECTION_POINTS)
+
+    def test_audit_counts_opportunities_without_firing(self):
+        plan = FaultPlan.audit()
+        for __ in range(1000):
+            assert not plan.decide(SITE_TLB_FLUSH_LOST)
+        assert plan.opportunities(SITE_TLB_FLUSH_LOST) == 1000
+        assert plan.total_fires() == 0

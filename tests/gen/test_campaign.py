@@ -1,0 +1,98 @@
+"""The tier-1 fuzz smoke campaign and its coverage gates.
+
+64 generated programs run native-vs-cloaked under the oracle.  The
+campaign must find nothing (the engine is believed correct), and its
+coverage accounting must prove the population actually exercises the
+surface: every syscall in the guest ABI, at least 12 of the 14 fault
+injection sites, and a broad probe-bus footprint.
+"""
+
+import pytest
+
+from repro.core.hypercall import Hypercall
+from repro.gen.driver import (parse_replay_token, replay_token, run_campaign,
+                              run_slot)
+from repro.gen.shrink import check_failure
+from repro.gen.spec import PRESETS, derive_seed
+
+SMOKE_SEED = 0
+SMOKE_COUNT = 64
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return run_campaign(campaign_seed=SMOKE_SEED, count=SMOKE_COUNT)
+
+
+class TestSmokeCampaign:
+    def test_zero_divergences(self, smoke_report):
+        assert smoke_report.ok, [
+            (s.slot, s.status, s.detail, s.replay)
+            for s in smoke_report.failures()
+        ]
+
+    def test_covers_every_syscall(self, smoke_report):
+        assert smoke_report.syscalls_missing() == []
+
+    def test_covers_most_fault_sites(self, smoke_report):
+        assert len(smoke_report.fault_sites) >= 12, \
+            smoke_report.fault_sites_missing()
+
+    def test_observability_rides_along(self, smoke_report):
+        assert len(smoke_report.probes) >= 10, sorted(smoke_report.probes)
+
+    def test_determinism_was_sampled(self, smoke_report):
+        assert sum(1 for s in smoke_report.slots
+                   if s.determinism_checked) == SMOKE_COUNT // 8
+
+    def test_report_is_deterministic(self, smoke_report):
+        replay = run_campaign(campaign_seed=SMOKE_SEED, count=6)
+        head = {s.slot: s.to_dict() for s in smoke_report.slots[:6]}
+        again = {s.slot: s.to_dict() for s in replay.slots}
+        assert head == again
+        assert replay.digest() == run_campaign(
+            campaign_seed=SMOKE_SEED, count=6).digest()
+
+
+class TestFaultRotation:
+    def test_armed_slots_stay_contained(self):
+        report = run_campaign(campaign_seed=3, count=7, fault_sites=True)
+        assert report.ok, [(s.fault_site, s.fault_outcome, s.detail)
+                           for s in report.failures()]
+        for slot in report.slots:
+            assert slot.fault_site is not None
+            assert slot.fault_outcome in ("RECOVERED", "DETECTED")
+
+
+def _noop_page_recycle(machine):
+    """Engine sabotage: re-introduce the heap-recycle protocol gap."""
+    machine.vmm._dispatcher._handlers[Hypercall.PAGE_RECYCLE] = \
+        lambda caller, start_vpn, npages: 0
+
+
+class TestMutationIsCaught:
+    """A seeded engine bug must be found, shrunk, and replayable."""
+
+    def test_sabotaged_engine_fails_and_shrinks(self):
+        report = run_campaign(campaign_seed=SMOKE_SEED, count=1,
+                              cloak_tweak=_noop_page_recycle)
+        assert not report.ok
+        (failure,) = report.failures()
+        assert failure.status == "violation"
+        assert failure.shrunk is not None
+        assert failure.shrunk.ops_after < failure.shrunk.ops_before
+        # The reproducer is self-contained: parse it back and the
+        # shrunk (seed, spec) still fails the same way under the
+        # same sabotage, and is healthy without it.
+        seed, spec = parse_replay_token(failure.replay)
+        kind, __ = check_failure(seed, spec, cloak_tweak=_noop_page_recycle)
+        assert kind == "violation"
+        kind, __ = check_failure(seed, spec)
+        assert kind is None
+
+    def test_generator_sabotage_reported_as_divergence(self):
+        seed = derive_seed(SMOKE_SEED, 0)
+        spec = PRESETS["default"].replace(sabotage="time-print")
+        result = run_slot(0, seed, "default", spec, shrink_failures=False)
+        assert result.status == "divergence"
+        assert result.replay == replay_token(seed, spec)

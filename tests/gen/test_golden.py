@@ -1,0 +1,26 @@
+"""Seed stability: pinned (seed, spec) -> listing digests.
+
+Replay tokens in old failure reports stay meaningful only while the
+generator is a pure function of (seed, spec).  If this test fails
+after an *intentional* generator change, regenerate the snapshot::
+
+    python -m repro fuzz --write-golden
+"""
+
+from pathlib import Path
+
+from repro.gen.golden import load_golden, snapshot
+from repro.gen.spec import PRESET_ROTATION
+
+GOLDEN_PATH = Path(__file__).with_name("golden_listings.json")
+
+
+def test_listings_match_committed_golden():
+    committed = load_golden(str(GOLDEN_PATH))
+    fresh = snapshot()
+    assert set(committed) == set(PRESET_ROTATION)
+    for preset in PRESET_ROTATION:
+        assert fresh[preset] == committed[preset], (
+            f"generator output drifted for preset {preset!r}; if the "
+            f"change is intentional run: python -m repro fuzz --write-golden"
+        )

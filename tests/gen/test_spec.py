@@ -1,0 +1,81 @@
+"""GenSpec: validation, canonical serialisation, seed derivation."""
+
+import pytest
+
+from repro.gen.spec import (CATEGORIES, GenSpec, PRESETS, PRESET_ROTATION,
+                            derive_seed)
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        GenSpec().validate()
+
+    def test_presets_are_valid_and_rotated(self):
+        assert set(PRESET_ROTATION) == set(PRESETS)
+        for name, spec in PRESETS.items():
+            assert spec.preset == name
+            spec.validate()
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError, match="unknown category"):
+            GenSpec(weights={"compute": 1, "quantum": 2})
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            GenSpec(weights={c: 0 for c in CATEGORIES})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            GenSpec(weights={"compute": -1})
+
+    def test_ops_bounds(self):
+        with pytest.raises(ValueError):
+            GenSpec(ops=0)
+        with pytest.raises(ValueError):
+            GenSpec(ops=4097)
+
+    def test_unknown_sabotage_rejected(self):
+        with pytest.raises(ValueError, match="sabotage"):
+            GenSpec(sabotage="rm-rf")
+
+    def test_negative_drop_rejected(self):
+        with pytest.raises(ValueError, match="drop"):
+            GenSpec(drop=(3, -1))
+
+
+class TestSerialisation:
+    def test_json_round_trip(self):
+        spec = PRESETS["memstorm"].replace(drop=(4, 1, 4, 9))
+        again = GenSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.drop == (1, 4, 9)  # sorted, deduplicated
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec fields"):
+            GenSpec.from_json('{"ops": 4, "turbo": true}')
+
+    def test_replace_keeps_other_fields(self):
+        spec = PRESETS["fileio"]
+        tweaked = spec.replace(ops=5)
+        assert tweaked.ops == 5
+        assert tweaked.weights == spec.weights
+        assert spec.ops == PRESETS["fileio"].ops  # original untouched
+
+    def test_structural_key_ignores_drop(self):
+        spec = PRESETS["default"]
+        assert spec.structural_key() \
+            == spec.replace(drop=(0, 1, 2)).structural_key()
+
+    def test_digest_sees_drop(self):
+        spec = PRESETS["default"]
+        assert spec.digest() != spec.replace(drop=(0,)).digest()
+
+
+class TestDeriveSeed:
+    def test_pure_and_distinct(self):
+        seeds = [derive_seed(0, i) for i in range(64)]
+        assert seeds == [derive_seed(0, i) for i in range(64)]
+        assert len(set(seeds)) == 64
+
+    def test_campaigns_are_independent(self):
+        assert derive_seed(0, 5) != derive_seed(1, 5)
