@@ -17,7 +17,7 @@ from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.exceptions import ExceptionDisciplineRule
 from repro.analysis.rules.layering import LayeringRule
 from repro.analysis.rules.obs import ProbeIndirectionRule
-from repro.analysis.rules.perf import PerByteLoopRule
+from repro.analysis.rules.perf import FreshBootLoopRule, PerByteLoopRule
 from repro.analysis.rules.secret_flow import SecretFlowRule, UnsealedPersistRule
 from repro.analysis.rules.secrets import SecretHygieneRule
 from repro.analysis.rules.smp_audit import SmpAuditRule
@@ -35,6 +35,7 @@ ALL_RULES = (
     UnsealedPersistRule(),
     LayeringRule(),
     PerByteLoopRule(),
+    FreshBootLoopRule(),
     ProbeIndirectionRule(),
     CloakStateRule(),
     TlbCoherenceRule(),

@@ -1,4 +1,6 @@
-"""PERF001: no per-byte Python loops on the data path.
+"""PERF001/PERF002: host-speed discipline for the hot paths.
+
+PERF001: no per-byte Python loops on the data path.
 
 The hot paths (``repro.hw``, ``repro.core``) move page-sized buffers —
 4 KiB per cloak operation, every memory access, every DMA transfer.  A
@@ -20,6 +22,24 @@ matters more), and the analysis layer never touches page data.
 
 Suppress a deliberate exception with a trailing comment of the form
 ``repro: allow(PERF001) — 16-byte tag`` on the offending line.
+
+PERF002: no fresh boots inside per-run loops.
+
+Booting a machine (``Machine(...)`` / ``Machine.build(...)``) costs
+two orders of magnitude more host time than restoring one from a
+golden snapshot (:meth:`Machine.from_snapshot`), and the snapshot
+equivalence property test guarantees the restored machine is
+cycle-identical.  The harness layers (``repro.bench``,
+``repro.faults``, ``repro.gen``) repeat workloads by design, so a
+fresh boot lexically inside a ``for``/``while`` body there almost
+always re-pays boot cost once per iteration.  Boot once (or per
+configuration) and restore per run instead — see
+``repro.bench.runner.fresh_machine`` and
+``repro.faults.oracle._booted_machine``.
+
+Deliberate fresh boots (configuration sweeps where params change per
+iteration, the legacy fallback itself) carry
+``repro: allow(PERF002) — reason`` suppressions.
 """
 
 import ast
@@ -30,6 +50,15 @@ from repro.analysis.rules.base import Rule, import_aliases, resolve_call_path
 
 #: Package prefixes where page-sized buffers live.
 HOT_PREFIXES = ("repro.hw", "repro.core")
+
+#: Harness packages that repeat workloads (PERF002 scope).
+REPEAT_PREFIXES = ("repro.bench", "repro.faults", "repro.gen")
+
+#: Call targets that boot a machine from scratch.
+BOOT_CALLS = frozenset((
+    "repro.machine.Machine",
+    "repro.machine.Machine.build",
+))
 
 #: Comprehension node types that share the (elt, generators) shape.
 _COMPREHENSIONS = (ast.GeneratorExp, ast.ListComp, ast.SetComp)
@@ -96,3 +125,31 @@ class PerByteLoopRule(Rule):
                             "(crypto.xor_bytes)",
                         )
                         break
+
+
+class FreshBootLoopRule(Rule):
+    rule_id = "PERF002"
+    name = "fresh-boot-in-loop"
+    summary = ("harness per-run loops must restore machines from golden "
+               "snapshots, not re-boot (Machine.from_snapshot; see "
+               "repro.bench.runner.fresh_machine)")
+
+    def check(self, mod: ModuleInfo) -> Iterable:
+        if not mod.module.startswith(REPEAT_PREFIXES):
+            return
+        aliases = import_aliases(mod.tree)
+        for loop in ast.walk(mod.tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for stmt in loop.body + loop.orelse:
+                for node in ast.walk(stmt):
+                    if (isinstance(node, ast.Call)
+                            and resolve_call_path(node.func, aliases)
+                            in BOOT_CALLS):
+                        yield self.finding(
+                            mod, node,
+                            "fresh machine boot inside a per-run loop; "
+                            "boot once and Machine.from_snapshot per "
+                            "iteration (runner.fresh_machine, "
+                            "oracle._booted_machine)",
+                        )

@@ -22,8 +22,8 @@ def _install_lying_read(machine: Machine) -> None:
     kernel = machine.kernel
     real_read = kernel._handlers[Syscall.READ]
 
-    def lying_read(proc, args, extra):
-        result = real_read(proc, args, extra)
+    def lying_read(kern, proc, args, extra):
+        result = real_read(kern, proc, args, extra)
         if isinstance(result, int) and result > 0:
             __, buf_vaddr, __ = args
             forged = (b"FORGED" * (result // 6 + 1))[:result]

@@ -51,6 +51,11 @@ class MultiShadow:
         self._stats = stats or StatCounters()
         self._shadows: Dict[Tuple[int, int], ShadowContext] = {}
         self._frame_mappings: Dict[int, Set[Mapping]] = {}
+        #: Views that exist per asid, in creation order — lets invlpg
+        #: visit only the handful of views of one address space instead
+        #: of scanning every shadow context in the store.
+        self._asid_views: Dict[int, List[int]] = {}
+        self._entry_count = 0
         self.peak_entries = 0
 
     # -- lookup / install -----------------------------------------------------
@@ -61,6 +66,7 @@ class MultiShadow:
         if ctx is None:
             ctx = ShadowContext(asid, view)
             self._shadows[key] = ctx
+            self._asid_views.setdefault(asid, []).append(view)
         return ctx
 
     def lookup(self, asid: int, view: int, vpn: int) -> Optional[TLBEntry]:
@@ -75,11 +81,15 @@ class MultiShadow:
             # Overwriting a mapping that pointed at a different frame:
             # keep the reverse index exact.
             self._remove(asid, view, entry.vpn)
+            old = None
+        if old is None:
+            self._entry_count += 1
         ctx.entries[entry.vpn] = entry
         self._frame_mappings.setdefault(entry.pfn, set()).add(
             (asid, view, entry.vpn)
         )
-        self.peak_entries = max(self.peak_entries, self.entry_count())
+        if self._entry_count > self.peak_entries:
+            self.peak_entries = self._entry_count
         self._stats.bump("shadow.fills")
 
     # -- invalidation ------------------------------------------------------------
@@ -90,6 +100,7 @@ class MultiShadow:
             return
         entry = ctx.entries.pop(vpn, None)
         if entry is not None:
+            self._entry_count -= 1
             mappings = self._frame_mappings.get(entry.pfn)
             if mappings is not None:
                 mappings.discard((asid, view, vpn))
@@ -98,10 +109,11 @@ class MultiShadow:
 
     def invalidate_vpn(self, asid: int, vpn: int) -> List[Mapping]:
         """Drop ``vpn`` from every view of one address space (invlpg)."""
+        shadows = self._shadows
         victims = [
-            (a, v, vpn)
-            for (a, v) in list(self._shadows)
-            if a == asid and vpn in self._shadows[(a, v)].entries
+            (asid, v, vpn)
+            for v in self._asid_views.get(asid, ())
+            if vpn in shadows[(asid, v)].entries
         ]
         for a, v, p in victims:
             self._remove(a, v, p)
@@ -119,9 +131,10 @@ class MultiShadow:
     def drop_asid(self, asid: int) -> int:
         """Discard all shadows of one address space (address-space death)."""
         count = 0
-        for key in [k for k in self._shadows if k[0] == asid]:
+        for key in [(asid, v) for v in self._asid_views.pop(asid, ())]:
             ctx = self._shadows.pop(key)
             count += len(ctx.entries)
+            self._entry_count -= len(ctx.entries)
             for vpn, entry in ctx.entries.items():
                 mappings = self._frame_mappings.get(entry.pfn)
                 if mappings is not None:
@@ -131,9 +144,11 @@ class MultiShadow:
         return count
 
     def flush_all(self) -> int:
-        count = sum(len(ctx.entries) for ctx in self._shadows.values())
+        count = self._entry_count
         self._shadows.clear()
         self._frame_mappings.clear()
+        self._asid_views.clear()
+        self._entry_count = 0
         return count
 
     # -- introspection --------------------------------------------------------------
@@ -145,4 +160,4 @@ class MultiShadow:
         return len(self._shadows)
 
     def entry_count(self) -> int:
-        return sum(len(ctx.entries) for ctx in self._shadows.values())
+        return self._entry_count

@@ -91,6 +91,10 @@ class VMM(TranslationAuthority):
         #: The view the CPU last ran user code under, per asid (for the
         #: flush shadow policy).
         self._last_view: Dict[int, int] = {}
+        #: Config is immutable after construction; hoisting the policy
+        #: test keeps the world-switch path free of a call under the
+        #: default (tagged) policy.
+        self._policy_is_flush = self.config.shadow_policy == POLICY_FLUSH
 
         #: Fault-injection hooks (repro.faults); None in normal runs.
         #: Hooks can only degrade delivery/translation — they never
@@ -309,21 +313,27 @@ class VMM(TranslationAuthority):
         threads the saved CTC (if any) is restored — whatever register
         values the kernel planted are discarded.
         """
-        domain_id = self.thread_domain(pid)
-        self._cycles.charge("vmm", self._costs.world_switch)
+        domain_id = self._thread_domain.get(pid, SYSTEM_DOMAIN)
         if bus.ACTIVE:
             bus.vmm_enter_user(pid, domain_id)
-        self._apply_shadow_policy(asid, domain_id)
+        if self._policy_is_flush:
+            self._apply_shadow_policy(asid, domain_id)
         self._cpu.enter_context(asid, domain_id, CPUMode.USER)
         if domain_id != SYSTEM_DOMAIN:
             ctc = self.ctcs.get(pid)
             if ctc.valid:
                 self._cpu.regs.load(ctc.restore())
-                self._cycles.charge("vmm", self._costs.ctc_restore)
+                # One ledger call for both same-category costs: the sum
+                # per category is what the hash sees.
+                self._cycles.charge(
+                    "vmm", self._costs.world_switch + self._costs.ctc_restore)
             else:
                 # First entry of a fresh cloaked thread: defined state.
                 self._cpu.regs.scrub()
+                self._cycles.charge("vmm", self._costs.world_switch)
             self.stats.bump("vmm.cloaked_entries")
+        else:
+            self._cycles.charge("vmm", self._costs.world_switch)
         return domain_id
 
     def exit_user(self, pid: int, reason: ExitReason,
@@ -334,16 +344,17 @@ class VMM(TranslationAuthority):
         scrubbed; only ``visible_regs`` (syscall arguments the shim
         intends to pass) remain architecturally visible.
         """
-        domain_id = self.thread_domain(pid)
-        self._cycles.charge("vmm", self._costs.world_switch)
+        domain_id = self._thread_domain.get(pid, SYSTEM_DOMAIN)
         if bus.ACTIVE:
             bus.vmm_exit_user(pid, reason.name, domain_id)
-        self._apply_shadow_policy(self._cpu.asid, SYSTEM_VIEW)
+        if self._policy_is_flush:
+            self._apply_shadow_policy(self._cpu.asid, SYSTEM_VIEW)
         if domain_id != SYSTEM_DOMAIN:
             ctc = self.ctcs.get(pid)
             ctc.save(self._cpu.regs.snapshot(), reason)
-            self._cpu.regs.scrub(keep=list(visible_regs))
-            self._cycles.charge("vmm", self._costs.ctc_save)
+            self._cpu.regs.scrub(keep=visible_regs)
+            self._cycles.charge(
+                "vmm", self._costs.world_switch + self._costs.ctc_save)
             self.stats.bump("vmm.cloaked_exits")
             if self.config.eager_reencrypt:
                 # repro: allow[MMU001] — the loop below invalidates the
@@ -355,6 +366,8 @@ class VMM(TranslationAuthority):
                 for md in self.metadata.pages():
                     if md.resident_gpfn is not None:
                         self._invalidate_frame_mappings(md.resident_gpfn)
+        else:
+            self._cycles.charge("vmm", self._costs.world_switch)
         self._cpu.enter_kernel()
 
     def _apply_shadow_policy(self, asid: int, view: int) -> None:

@@ -60,6 +60,7 @@ from repro.faults.plan import (
     FaultArm,
     FaultPlan,
 )
+from repro.hw import snapshot as snapshot_mod
 from repro.hw.params import MachineParams, PAGE_SIZE
 from repro.machine import Machine, ViolationRecord
 
@@ -290,16 +291,27 @@ def _marker_visible(machine: Machine, marker: bytes) -> bool:
     return False
 
 
-def run_once(spec: AppSpec, cloaked: bool,
-             plan: Optional[FaultPlan] = None,
-             tweak: Optional[Callable[[Machine], None]] = None) -> RunRecord:
-    """Build a fresh machine, run one spec, capture its state.
+#: Golden boot snapshots, keyed by everything that shapes a boot:
+#: (cloaked, params factory, planned-ness, full-vs-gen registry, setup
+#: hook).  One boot per distinct configuration; every subsequent
+#: run_once restores in O(dirty pages) instead of re-booting — this is
+#: the single change that took the faults-oracle wall clock down ≥5×.
+_GOLDEN_SNAPSHOTS: Dict[tuple, snapshot_mod.SnapshotState] = {}
 
-    ``tweak`` runs right after the machine is built, before any
-    program registration — the hook the fuzz driver uses to attach
-    observability sinks (coverage accounting) and mutation tests use
-    to sabotage engine internals.
+
+def clear_snapshot_cache() -> None:
+    """Drop the golden boot snapshots.
+
+    Tests that monkeypatch engine internals at module scope (so a
+    cached boot image would bake the patch in — or miss it) call this
+    around the patched region.
     """
+    _GOLDEN_SNAPSHOTS.clear()
+
+
+def _fresh_boot(spec: AppSpec, cloaked: bool, plan: Optional[FaultPlan],
+                tweak: Optional[Callable[[Machine], None]]) -> Machine:
+    """Legacy boot path: build and provision a machine from scratch."""
     params = spec.params() if spec.params is not None else None
     machine = Machine(params=params, fault_plan=plan)
     if tweak is not None:
@@ -312,6 +324,59 @@ def run_once(spec: AppSpec, cloaked: bool,
         register_all(machine, cloaked=cloaked)
     if spec.setup is not None:
         spec.setup(machine)
+    return machine
+
+
+def _booted_machine(spec: AppSpec, cloaked: bool, plan: Optional[FaultPlan],
+                    tweak: Optional[Callable[[Machine], None]]) -> Machine:
+    """A machine at the post-setup boot point — restored from a golden
+    snapshot when possible, freshly booted otherwise.
+
+    Restores are cycle- and state-identical to fresh boots (the
+    snapshot equivalence property test proves it per program), with
+    two deliberate differences in *harness* behaviour: ``tweak`` runs
+    after the restore rather than before registration (an attached
+    sink no longer sees boot-time probe traffic — the boot happened
+    once, when the golden was captured), and a caller plan whose arms
+    would have fired inside the boot window falls back to the legacy
+    fresh-boot path so the fault schedule is never silently altered.
+    """
+    if not snapshot_mod.snapshots_enabled():
+        return _fresh_boot(spec, cloaked, plan, tweak)
+    key = (cloaked, spec.params, plan is not None,
+           spec.program is None, spec.setup)
+    golden = _GOLDEN_SNAPSHOTS.get(key)
+    if golden is None:
+        # Golden boots never see the caller's plan or tweak: planned
+        # goldens boot under an all-site audit plan (never fires, but
+        # records per-site boot opportunity counts so restore can
+        # fast-forward any caller plan over the boot window).
+        boot_plan = FaultPlan.audit(0) if plan is not None else None
+        golden = _fresh_boot(spec, cloaked, boot_plan, None).snapshot()
+        _GOLDEN_SNAPSHOTS[key] = golden
+    try:
+        machine = Machine.from_snapshot(golden, fault_plan=plan)
+    except snapshot_mod.SnapshotUnusable:
+        return _fresh_boot(spec, cloaked, plan, tweak)
+    if spec.program is not None:
+        # Registration charges no cycles and touches no frames, so
+        # registering the per-spec program post-restore is exact.
+        machine.register(spec.program, cloaked=cloaked)
+    if tweak is not None:
+        tweak(machine)
+    return machine
+
+
+def run_once(spec: AppSpec, cloaked: bool,
+             plan: Optional[FaultPlan] = None,
+             tweak: Optional[Callable[[Machine], None]] = None) -> RunRecord:
+    """Boot (or restore) a machine, run one spec, capture its state.
+
+    ``tweak`` runs right before processes are spawned — the hook the
+    fuzz driver uses to attach observability sinks (coverage
+    accounting) and mutation tests use to sabotage engine internals.
+    """
+    machine = _booted_machine(spec, cloaked, plan, tweak)
     if spec.peers is not None:
         spec.peers(machine)
 

@@ -25,6 +25,27 @@ from repro.hw.mmu import MMU, MODE_KERNEL, SYSTEM_VIEW
 from repro.hw.params import CostTable, PAGE_SIZE
 from repro.hw.phys import FrameAllocator, OutOfMemoryError, PhysicalMemory
 
+#: Merged syscall-number -> module-function map.  Static for the
+#: process lifetime, so built once and shared by every kernel —
+#: dispatch passes the kernel explicitly, which keeps snapshot restore
+#: free of any per-machine table rebuild.
+_HANDLER_FNS: Optional[Dict[Syscall, Callable]] = None
+
+
+def _handler_functions() -> Dict[Syscall, Callable]:
+    global _HANDLER_FNS
+    if _HANDLER_FNS is None:
+        from repro.guestos import (sys_file, sys_ipc, sys_mem, sys_proc,
+                                   sys_thread)
+        table: Dict[Syscall, Callable] = {}
+        for module in (sys_file, sys_ipc, sys_mem, sys_proc, sys_thread):
+            for number, fn in module.handlers().items():
+                if number in table:
+                    raise RuntimeError(f"duplicate syscall handler {number}")
+                table[number] = fn
+        _HANDLER_FNS = table
+    return _HANDLER_FNS
+
 
 class Console:
     """Per-process output sink (the write(1/2) destination)."""
@@ -53,6 +74,13 @@ class RegistryEntry:
         self.program_factory = program_factory
         self.runtime_factory = runtime_factory
         self.image = image
+
+    def __deepcopy__(self, memo):
+        # Immutable after construction (a name, a program class, a
+        # stateless factory over immutables, frozen image bytes):
+        # machine clones share the entry instead of reconstructing
+        # the whole registry per snapshot restore.
+        return self
 
 
 class Kernel:
@@ -104,7 +132,20 @@ class Kernel:
         #: Address spaces already torn down (shared by thread groups).
         self._released_asids: set = set()
 
-        self._handlers = self._build_handler_table()
+        # Per-kernel copy of the static table: one flat dict copy, and
+        # a test/attack that swaps a handler poisons only this kernel.
+        self._handlers = dict(_handler_functions())
+
+    def __getstate__(self):
+        # The handler table is rebuilt from the module constant;
+        # dropping it keeps snapshot blobs free of ~90 global refs.
+        state = self.__dict__.copy()
+        del state["_handlers"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._handlers = dict(_handler_functions())
 
     # ------------------------------------------------------------------
     # program registry / spawn
@@ -207,27 +248,11 @@ class Kernel:
         if handler is None:
             return -uapi.ENOSYS
         try:
-            return handler(proc, args, extra)
+            return handler(self, proc, args, extra)
         except VFSError as exc:
             return -exc.errno
         except OutOfMemoryError:
             return -uapi.ENOMEM
-
-    def _build_handler_table(self) -> Dict[Syscall, Callable]:
-        from repro.guestos import sys_file, sys_ipc, sys_mem, sys_proc, sys_thread
-
-        table: Dict[Syscall, Callable] = {}
-        for module in (sys_file, sys_ipc, sys_mem, sys_proc, sys_thread):
-            for number, fn in module.handlers().items():
-                if number in table:
-                    raise RuntimeError(f"duplicate syscall handler {number}")
-                table[number] = self._bind(fn)
-        return table
-
-    def _bind(self, fn: Callable) -> Callable:
-        def bound(proc, args, extra, _fn=fn):
-            return _fn(self, proc, args, extra)
-        return bound
 
     # ------------------------------------------------------------------
     # user-memory access (system view — where cloaking bites)
@@ -361,6 +386,8 @@ class Kernel:
         self.stats.bump("kernel.signals_posted")
 
     def next_deliverable_signal(self, proc: Process) -> Optional[int]:
+        if not proc.pending_signals:
+            return None
         for sig in list(proc.pending_signals):
             if sig not in proc.signal_mask:
                 proc.pending_signals.remove(sig)

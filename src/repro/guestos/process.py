@@ -79,8 +79,13 @@ class AddressSpace:
         self.vmas: List[VMA] = []
         self.brk_vaddr = layout.HEAP_BASE
         self._mmap_cursor = layout.MMAP_BASE
-        #: Frames owned by this AS (for teardown), vpn -> pfn.
+        #: Frames owned by this AS (for teardown), vpn -> pfn.  Exact
+        #: mirror of the present leaves: every PTE edit flows through
+        #: map_page/unmap_page, so scans over the mapping set read this
+        #: dict instead of walking table pages.
         self._frames: Dict[int, int] = {}
+        #: Second-level table pages, directory index -> pfn.
+        self._tables: Dict[int, int] = {}
 
     # -- VMA management ------------------------------------------------------
 
@@ -113,8 +118,13 @@ class AddressSpace:
     # -- page mapping (called by the kernel fault handler / loader) -----------
 
     def map_page(self, vpn: int, pfn: int, writable: bool) -> None:
+        def alloc_table() -> int:
+            table_pfn = self._new_table()
+            self._tables[(vpn >> 10) & 0x3FF] = table_pfn
+            return table_pfn
+
         self._walker.map(self.root_pfn, vpn, pfn, writable, user=True,
-                         alloc_table=self._new_table)
+                         alloc_table=alloc_table)
         self._frames[vpn] = pfn
         self._invlpg(self.asid, vpn)
 
@@ -136,8 +146,8 @@ class AddressSpace:
         return leaf.pfn if leaf else None
 
     def mapped_pages(self) -> List[Tuple[int, int]]:
-        return [(vpn, leaf.pfn) for vpn, leaf in
-                self._walker.mapped_vpns(self.root_pfn)]
+        # vpn-ascending, same order a table-page scan would produce.
+        return sorted(self._frames.items())
 
     def _new_table(self) -> int:
         pfn = self._alloc.alloc()
@@ -153,14 +163,20 @@ class AddressSpace:
         page-cache frames owned by the filesystem).
         """
         keep = keep_frames or set()
-        for vpn, leaf in list(self._walker.mapped_vpns(self.root_pfn)):
-            if leaf.pfn not in keep and self._alloc.is_allocated(leaf.pfn):
-                self._alloc.free(leaf.pfn)
-        for table_pfn in list(self._walker.table_frames(self.root_pfn)):
-            self._alloc.free(table_pfn)
+        # Free in the exact order a table scan yields: leaves by
+        # ascending vpn, then table pages by ascending directory index,
+        # then the root — allocator free-list order shapes future
+        # allocations, so this order is part of the cycle contract.
+        for vpn in sorted(self._frames):
+            pfn = self._frames[vpn]
+            if pfn not in keep and self._alloc.is_allocated(pfn):
+                self._alloc.free(pfn)
+        for l1 in sorted(self._tables):
+            self._alloc.free(self._tables[l1])
         self._alloc.free(self.root_pfn)
         self.vmas.clear()
         self._frames.clear()
+        self._tables.clear()
 
 
 class OpenFile:

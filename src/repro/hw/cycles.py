@@ -29,12 +29,15 @@ class CycleAccount:
 
     def charge(self, category: str, cycles: int) -> None:
         """Add ``cycles`` to ``category`` (and the grand total)."""
-        if cycles < 0:
+        if cycles > 0:
+            self._total += cycles
+            cats = self._by_category
+            if category in cats:
+                cats[category] += cycles
+            else:
+                cats[category] = cycles
+        elif cycles < 0:
             raise ValueError(f"negative cycle charge: {cycles}")
-        if cycles == 0:
-            return
-        self._total += cycles
-        self._by_category[category] = self._by_category.get(category, 0) + cycles
 
     def get(self, category: str) -> int:
         return self._by_category.get(category, 0)
@@ -102,7 +105,11 @@ class StatCounters:
         self._counts: Dict[str, int] = {}
 
     def bump(self, name: str, by: int = 1) -> None:
-        self._counts[name] = self._counts.get(name, 0) + by
+        counts = self._counts
+        if name in counts:
+            counts[name] += by
+        else:
+            counts[name] = by
 
     def get(self, name: str) -> int:
         return self._counts.get(name, 0)

@@ -149,18 +149,27 @@ class PageTableWalker:
         walker updates the leaf's A/D bits in memory, as x86 hardware
         does.
         """
+        # Raw-word walk: the hottest path in the simulator decodes
+        # exactly one PTE object (the returned leaf) instead of three.
+        phys = self._phys
         l1, l2 = split_vpn(vpn)
-        dir_entry = self.read_entry(root_pfn, l1)
-        if not dir_entry.present:
+        dir_word = _PTE.unpack_from(phys.frame_view(root_pfn),
+                                    l1 * PTE_SIZE)[0]
+        if not dir_word & FLAG_PRESENT:
             return None
-        leaf = self.read_entry(dir_entry.pfn, l2)
-        if not leaf.present:
+        table_pfn = dir_word >> 12
+        word = _PTE.unpack_from(phys.frame_view(table_pfn),
+                                l2 * PTE_SIZE)[0]
+        if not word & FLAG_PRESENT:
             return None
-        if (set_accessed and not leaf.accessed) or (set_dirty and not leaf.dirty):
-            leaf.accessed = leaf.accessed or set_accessed
-            leaf.dirty = leaf.dirty or set_dirty
-            self.write_entry(dir_entry.pfn, l2, leaf)
-        return leaf
+        if (set_accessed and not word & FLAG_ACCESSED) or (
+                set_dirty and not word & FLAG_DIRTY):
+            if set_accessed:
+                word |= FLAG_ACCESSED
+            if set_dirty:
+                word |= FLAG_DIRTY
+            phys.write(table_pfn, l2 * PTE_SIZE, _PTE.pack(word))
+        return PageTableEntry.decode(word)
 
     # -- kernel-side table editing ----------------------------------------
 
@@ -179,19 +188,24 @@ class PageTableWalker:
         zeroed frame (the kernel's frame allocator); it is only invoked
         when the directory slot is empty.
         """
+        phys = self._phys
         l1, l2 = split_vpn(vpn)
-        dir_entry = self.read_entry(root_pfn, l1)
-        if not dir_entry.present:
+        dir_word = _PTE.unpack_from(phys.frame_view(root_pfn),
+                                    l1 * PTE_SIZE)[0]
+        if not dir_word & FLAG_PRESENT:
             table_pfn = alloc_table()
             # repro: allow(CYC001) — the walker is passive hardware with
             # no ledger; table-install cost is charged per level by the
             # MMU/VMM on the faulting path that triggered this map.
-            self._phys.zero_frame(table_pfn)
-            dir_entry = PageTableEntry(pfn=table_pfn, present=True,
-                                       writable=True, user=True)
-            self.write_entry(root_pfn, l1, dir_entry)
-        leaf = PageTableEntry(pfn=pfn, present=True, writable=writable, user=user)
-        self.write_entry(dir_entry.pfn, l2, leaf)
+            phys.zero_frame(table_pfn)
+            dir_word = (table_pfn << 12) | FLAG_PRESENT | FLAG_WRITE | FLAG_USER
+            phys.write(root_pfn, l1 * PTE_SIZE, _PTE.pack(dir_word))
+        word = (pfn << 12) | FLAG_PRESENT
+        if writable:
+            word |= FLAG_WRITE
+        if user:
+            word |= FLAG_USER
+        phys.write(dir_word >> 12, l2 * PTE_SIZE, _PTE.pack(word))
 
     def unmap(self, root_pfn: int, vpn: int) -> Optional[PageTableEntry]:
         """Remove a mapping; returns the old leaf PTE (or ``None``)."""

@@ -4,11 +4,26 @@ Memory is an array of page frames, each a ``bytearray``.  The cloaking
 engine encrypts/decrypts frames *in place*, exactly as Overshadow does
 with machine pages: a given frame holds either plaintext (visible to
 the owning cloaked application) or ciphertext (what the OS sees).
+
+Snapshots add a second lazy layer under the lazy-zero one: a restored
+machine's :class:`PhysicalMemory` starts with **no private frames at
+all** — every pfn resolves, in order, to (1) a private ``bytearray``
+if the restored machine has written the frame, (2) the snapshot's
+shared immutable ``bytes`` image of the frame, or (3) zeros.  Reads
+are served from whichever layer holds the frame; the first write
+materialises a private copy (a COW fault, counted and probed).  The
+shared base entries are immutable ``bytes``, so no restored machine
+can ever damage another's view of the snapshot.
 """
 
+import copy
 from typing import List, Optional
 
 from repro.hw.params import PAGE_SIZE
+from repro.obs import bus
+
+#: Base layer type: per-pfn immutable frame contents (None = zeros).
+BaseFrames = List[Optional[bytes]]
 
 
 class OutOfMemoryError(Exception):
@@ -22,9 +37,12 @@ class PhysicalMemory:
     zero-copy path: ``frame_view`` hands out a cached *read-only*
     memoryview of a frame, so page-sized consumers (the cloak engine's
     encrypt input, page-table scans) can hash/XOR/unpack in place
-    without first materialising a 4 KiB ``bytes`` copy.  The views stay
-    valid for the machine's lifetime — frames are mutated only in
-    place, never resized.
+    without first materialising a 4 KiB ``bytes`` copy.  Views of
+    *materialised* frames stay valid for the machine's lifetime —
+    frames are mutated only in place, never resized.  A view of a
+    still-COW-shared frame is a view of the immutable snapshot bytes;
+    consumers must (and do) use it immediately, before any write to
+    the frame can shadow it with a private copy.
     """
 
     def __init__(self, total_frames: int):
@@ -35,6 +53,47 @@ class PhysicalMemory:
         # and a never-written frame reads as zeros either way.
         self._frames: List[Optional[bytearray]] = [None] * total_frames
         self._views: List[Optional[memoryview]] = [None] * total_frames
+        #: COW base layer (restored machines only): pfn -> immutable
+        #: snapshot contents, consulted when no private frame exists.
+        self._base: Optional[BaseFrames] = None
+        #: Private frames materialised from the base layer (restored
+        #: machines only; stays 0 on ordinary machines).
+        self.cow_faults = 0
+
+    @classmethod
+    def from_base(cls, base: BaseFrames) -> "PhysicalMemory":
+        """A COW memory over ``base`` (shared immutable frame bytes).
+
+        The per-instance base *list* is copied (so ``zero_frame`` can
+        drop entries locally) but the frame ``bytes`` objects are
+        shared — restoring from a snapshot is O(frames) pointers, not
+        O(frames) pages.
+        """
+        mem = cls.__new__(cls)
+        total = len(base)
+        if total <= 0:
+            raise ValueError("need at least one frame")
+        mem._frames = [None] * total
+        mem._views = [None] * total
+        mem._base = list(base)
+        mem.cow_faults = 0
+        return mem
+
+    def freeze_base(self) -> BaseFrames:
+        """The current contents of every frame as immutable ``bytes``.
+
+        Composes with an existing base layer: a frame this instance
+        never wrote is carried as the *same* shared object, so
+        snapshot-of-restored-machine costs only the dirty pages.
+        """
+        base = self._base
+        frozen: BaseFrames = [None] * len(self._frames)
+        for pfn, frame in enumerate(self._frames):
+            if frame is not None:
+                frozen[pfn] = bytes(frame)
+            elif base is not None:
+                frozen[pfn] = base[pfn]
+        return frozen
 
     @property
     def total_frames(self) -> int:
@@ -47,7 +106,15 @@ class PhysicalMemory:
     def _materialize(self, pfn: int) -> bytearray:
         frame = self._frames[pfn]
         if frame is None:
-            frame = self._frames[pfn] = bytearray(PAGE_SIZE)
+            base = self._base
+            if base is not None and base[pfn] is not None:
+                frame = bytearray(base[pfn])
+                self.cow_faults += 1
+                if bus.ACTIVE:
+                    bus.snapshot_cow_fault(pfn)
+            else:
+                frame = bytearray(PAGE_SIZE)
+            self._frames[pfn] = frame
             self._views[pfn] = memoryview(frame).toreadonly()
         return frame
 
@@ -71,6 +138,12 @@ class PhysicalMemory:
         self._check(pfn)
         view = self._views[pfn]
         if view is None:
+            base = self._base
+            if base is not None and base[pfn] is not None:
+                # Don't materialise for a read: a fresh view of the
+                # shared snapshot bytes, not cached (the first write
+                # replaces it with the private frame's view).
+                return memoryview(base[pfn])
             self._materialize(pfn)
             view = self._views[pfn]
         return view
@@ -81,6 +154,11 @@ class PhysicalMemory:
             raise ValueError(f"bad intra-frame range {offset}+{size}")
         view = self._views[pfn]
         if view is None:
+            base = self._base
+            if base is not None:
+                contents = base[pfn]
+                if contents is not None:
+                    return contents[offset : offset + size]
             return bytes(size)
         return bytes(view[offset : offset + size])
 
@@ -88,12 +166,20 @@ class PhysicalMemory:
         self._check(pfn)
         if offset < 0 or offset + len(data) > PAGE_SIZE:
             raise ValueError(f"bad intra-frame range {offset}+{len(data)}")
-        self._materialize(pfn)[offset : offset + len(data)] = data
+        frame = self._frames[pfn]
+        if frame is None:
+            frame = self._materialize(pfn)
+        frame[offset : offset + len(data)] = data
 
     def read_frame(self, pfn: int) -> bytes:
         self._check(pfn)
         frame = self._frames[pfn]
         if frame is None:
+            base = self._base
+            if base is not None:
+                contents = base[pfn]
+                if contents is not None:
+                    return contents
             return bytes(PAGE_SIZE)
         return bytes(frame)
 
@@ -107,6 +193,12 @@ class PhysicalMemory:
         frame = self._frames[pfn]
         if frame is not None:
             frame[:] = bytes(PAGE_SIZE)
+        elif self._base is not None:
+            # O(1): an unmaterialised frame zeroes by *dropping* its
+            # base entry — no 4 KiB allocation, and only this
+            # instance's base list changes (the snapshot's shared
+            # bytes are untouched).
+            self._base[pfn] = None
 
 
 class FrameAllocator:
@@ -116,6 +208,13 @@ class FrameAllocator:
     region is reserved at boot for the VMM's own use (uncloaked
     marshalling buffers are guest-allocated, so the VMM needs almost
     nothing).
+
+    The allocator never touches frame *contents*: freeing a frame —
+    including a COW-shared frame of a restored machine — only moves
+    the pfn between the free list and the allocated set.  Contents
+    remain readable until the next owner zeroes or overwrites them
+    (which, on a restored machine, drops or shadows only that
+    machine's private copy; the snapshot base is immutable).
     """
 
     def __init__(self, total_frames: int, reserved_low: int = 0):
@@ -124,6 +223,23 @@ class FrameAllocator:
         self._free: List[int] = list(range(total_frames - 1, reserved_low - 1, -1))
         self._total = total_frames - reserved_low
         self._allocated = set()
+
+    def __deepcopy__(self, memo):
+        # Snapshot hot path: the free list and allocated set are large
+        # flat containers of ints — copy them at C speed instead of
+        # dispatching deepcopy per element.  Free-list *order* is
+        # preserved exactly; it feeds future allocation order and
+        # therefore the cycle hash.
+        clone = self.__class__.__new__(self.__class__)
+        memo[id(self)] = clone
+        for key, value in self.__dict__.items():
+            if key == "_free":
+                clone._free = list(value)
+            elif key == "_allocated":
+                clone._allocated = set(value)
+            else:
+                setattr(clone, key, copy.deepcopy(value, memo))
+        return clone
 
     @property
     def free_count(self) -> int:

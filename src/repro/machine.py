@@ -160,6 +160,32 @@ class Machine:
         return cls(params, vmm_config, fault_plan)
 
     # ------------------------------------------------------------------
+    # snapshots (boot once, restore per run)
+    # ------------------------------------------------------------------
+
+    def snapshot(self):
+        """Capture this quiescent machine as a COW snapshot.
+
+        See :mod:`repro.hw.snapshot` for what is shared vs. copied and
+        the quiescence/fault-plan restrictions.
+        """
+        from repro.hw.snapshot import capture
+        return capture(self)
+
+    @classmethod
+    def from_snapshot(cls, snapshot, fault_plan=None) -> "Machine":
+        """A fresh machine restored from ``snapshot``.
+
+        Cycle- and state-identical to a fresh boot that reached the
+        capture point; physical frames are copy-on-write against the
+        snapshot.  ``fault_plan`` must be given iff the snapshot was
+        captured under one (raises
+        :class:`repro.hw.snapshot.SnapshotUnusable` when the plan
+        cannot be replayed faithfully — fall back to a fresh boot).
+        """
+        return snapshot.restore(fault_plan)
+
+    # ------------------------------------------------------------------
     # program registration / spawning
     # ------------------------------------------------------------------
 
@@ -287,6 +313,7 @@ class Machine:
 
     def _run_slice(self, proc: Process) -> int:
         kernel = self.kernel
+        cycles = self.cycles
         self.cycles.charge("sched", self.params.costs.schedule)
 
         if self._deliver_signals(proc):
@@ -311,24 +338,68 @@ class Machine:
         # restore below overrides them with the real ones).
         if proc.saved_regs is not None:
             self.cpu.regs.load(proc.saved_regs)
-        self.vmm.enter_user(proc.pid, proc.asid)
-        slice_start = self.cycles.total
+        vmm = self.vmm
+        cpu = self.cpu
+        vmm.enter_user(proc.pid, proc.asid)
+        slice_start = cycles.total
         result = proc.resume_result
         proc.resume_result = None
         executed = 0
 
+        # The fetch-execute loop below is the single hottest region of
+        # the simulator.  Dispatch is by exact class identity with every
+        # per-iteration attribute lookup hoisted; the op classes are
+        # leaf types (uapi declares no subclasses), so `cls is Alu`
+        # decides exactly what `isinstance(op, Alu)` decides, and
+        # anything unrecognised falls back to `_execute_op`, which
+        # preserves the original isinstance chain and its TypeError.
+        # Costs, charge order, and timeslice boundaries are untouched —
+        # the cycle ledger stays bit-identical (wallclock --check).
+        next_op = proc.runtime.next_op
+        user_memory = self._user_memory
+        execute = cpu.execute
+        regs = cpu.regs
+        pid = proc.pid
+        timeslice = self.params.timeslice_cycles
+
         while True:
-            op = proc.runtime.next_op(result)
+            op = next_op(result)
             result = None
             executed += 1
             if op is None:
                 # Runtime exhausted without an EXIT reaching the kernel.
-                self.vmm.exit_user(proc.pid, ExitReason.INTERRUPT)
+                vmm.exit_user(pid, ExitReason.INTERRUPT)
                 kernel.do_exit(proc, 0)
                 return executed
 
             try:
-                disposition, result = self._execute_op(proc, op)
+                cls = op.__class__
+                if cls is Alu:
+                    execute(op.units)
+                elif cls is Load:
+                    result = user_memory(proc, op, "load")
+                elif cls is Store:
+                    user_memory(proc, op, "store")
+                elif cls is SyscallOp:
+                    disposition, result = self._execute_syscall(proc, op)
+                    if disposition == "stop":
+                        proc.saved_regs = regs.snapshot()
+                        return executed
+                    # exec(2) may have swapped in a fresh runtime.
+                    next_op = proc.runtime.next_op
+                elif cls is Copy:
+                    user_memory(proc, op, "copy")
+                elif cls is SetReg:
+                    regs[op.name] = op.value
+                elif cls is GetReg:
+                    result = regs[op.name]
+                elif cls is HypercallOp:
+                    result = vmm.hypercall(op.number, op.args)
+                else:
+                    disposition, result = self._execute_op(proc, op)
+                    if disposition == "stop":
+                        proc.saved_regs = regs.snapshot()
+                        return executed
             except _SliceOver:
                 return executed
             except OvershadowError as violation:
@@ -338,20 +409,16 @@ class Machine:
                 self.violations.append(ViolationRecord(proc.pid, violation))
                 self.stats.bump("machine.violations")
                 bus.vmm_violation(proc.pid, type(violation).__name__)
-                self.vmm.exit_user(proc.pid, ExitReason.FAULT)
+                vmm.exit_user(pid, ExitReason.FAULT)
                 kernel.do_exit(proc, 139)
                 return executed
 
-            if disposition == "stop":
-                proc.saved_regs = self.cpu.regs.snapshot()
-                return executed
-            # disposition == "continue"
-            if self.cycles.total - slice_start >= self.params.timeslice_cycles:
+            if cycles.total - slice_start >= timeslice:
                 if proc.state is ProcessState.RUNNING:
-                    self.vmm.exit_user(proc.pid, ExitReason.INTERRUPT)
-                    self.cpu.interrupt_cost()
+                    vmm.exit_user(pid, ExitReason.INTERRUPT)
+                    cpu.interrupt_cost()
                     proc.resume_result = result
-                    proc.saved_regs = self.cpu.regs.snapshot()
+                    proc.saved_regs = regs.snapshot()
                     kernel.scheduler.requeue(proc)
                 return executed
 
@@ -414,10 +481,12 @@ class Machine:
     def _execute_syscall(self, proc: Process, op: SyscallOp) -> Tuple[str, Any]:
         # Stage integer arguments in the argument registers — this is
         # what the kernel is allowed to see (CTC scrubbing keeps the
-        # rest hidden for cloaked threads).
-        for index, arg in enumerate(op.args[:6]):
+        # rest hidden for cloaked threads).  zip truncates at six args,
+        # matching the register file's argument window.
+        regs = self.cpu.regs
+        for name, arg in zip(VISIBLE_SYSCALL_REGS, op.args):
             if isinstance(arg, int):
-                self.cpu.regs[f"r{index}"] = arg & _MASK64
+                regs[name] = arg & _MASK64
         self.vmm.exit_user(proc.pid, ExitReason.SYSCALL,
                            visible_regs=VISIBLE_SYSCALL_REGS)
         self.cpu.trap_cost()

@@ -103,7 +103,7 @@ def test_mutated_crypto_without_lock_fires(tree):
     is exactly the race RACE001 exists to catch."""
     target = _copy_crypto(tree)
     source = target.read_text(encoding="utf-8")
-    assert source.count("with _memo_lock:") == 2
+    assert source.count("with _memo_lock:") == 3
     target.write_text(source.replace("with _memo_lock:", "if True:", 1),
                       encoding="utf-8")
     report = tree.run([LocksetRaceRule()])
