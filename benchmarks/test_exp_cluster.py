@@ -1,0 +1,32 @@
+"""R-T7: cluster serving — capacity scaling and tail overhead."""
+
+from repro.bench import exp_cluster
+
+
+def test_exp_cluster(once):
+    result = once(exp_cluster.run)
+    scaling = result["scaling"]
+    native = scaling.series("native")
+    cloaked = scaling.series("cloaked")
+
+    # Cloaking costs capacity but never collapses it.
+    for n, c in zip(native, cloaked):
+        assert 0.3 * n < c < n
+
+    # Capacity per shard stays roughly flat as shards are added
+    # (offered load scales with N; shards are independent machines).
+    assert native[-1] >= 0.5 * native[0]
+    assert cloaked[-1] >= 0.5 * cloaked[0]
+
+    # Every run completed every scheduled request, no shard degraded.
+    for report in result["reports"].values():
+        assert not report["degraded"]
+        assert report["cluster"]["completed"] == report["cluster"]["requests"]
+
+    # The tail table covers the standard quantiles with native <= cloaked.
+    tail = result["tail"]
+    assert [row[0] for row in tail.rows] == ["p50", "p95", "p99", "p999"]
+    for row in tail.rows:
+        native_cell = float(row[1].replace(",", ""))
+        cloaked_cell = float(row[2].replace(",", ""))
+        assert cloaked_cell >= native_cell > 0

@@ -1,12 +1,13 @@
-"""R-F3: web-server throughput vs concurrency."""
+"""R-F3: web-server throughput vs concurrency — both loops."""
 
 from repro.bench import exp_webserver
 
 
 def test_exp_webserver(once):
-    series = once(exp_webserver.run)
-    native = series.series("native server")
-    cloaked = series.series("cloaked server")
+    result = once(exp_webserver.run)
+    closed = result["closed"]
+    native = closed.series("native server")
+    cloaked = closed.series("cloaked server")
 
     # The cloaked server keeps a solid fraction of native throughput
     # at every concurrency level (paper: moderate constant overhead).
@@ -16,3 +17,20 @@ def test_exp_webserver(once):
     # Throughput does not collapse with concurrency in either mode.
     assert cloaked[-1] >= 0.8 * cloaked[0]
     assert native[-1] >= 0.8 * native[0]
+
+    # Open-loop leg: the cloaked tail is no better than native, and
+    # within each mode p95 >= p50 by construction.
+    open_series = result["open"]
+    for column in ("native", "cloaked"):
+        p50 = open_series.series(f"{column} p50")
+        p95 = open_series.series(f"{column} p95")
+        assert all(hi >= lo > 0 for lo, hi in zip(p50, p95))
+    assert all(c >= n for n, c in zip(open_series.series("native p95"),
+                                      open_series.series("cloaked p95")))
+
+    # Coordinated omission is visible: at the highest concurrency the
+    # open-loop p95 exceeds the closed-loop implied mean latency —
+    # the queueing the closed loop silently discards.
+    gap = result["gap"]
+    assert gap.columns[-1] == "hidden queueing x"
+    assert float(gap.rows[-1][-1]) > 1.0

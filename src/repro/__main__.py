@@ -12,6 +12,9 @@ Usage::
     python -m repro fuzz           # seeded differential fuzzing campaign
     python -m repro fuzz --replay 'SEED:{spec-json}'
                                   # re-run one (seed, spec) reproducer
+    python -m repro serve --shards 4
+                                  # open-loop cluster serving -> merged
+                                  # deterministic JSON report
 """
 
 import sys
@@ -24,6 +27,7 @@ def _experiments() -> Dict[str, Callable]:
         sensitivity,
         exp_attacks,
         exp_channels,
+        exp_cluster,
         exp_compute,
         exp_decomp,
         exp_faults,
@@ -45,6 +49,7 @@ def _experiments() -> Dict[str, Callable]:
         "r-t4": exp_attacks.run,
         "r-t5": exp_faults.run,
         "r-t6": exp_fuzz.run,
+        "r-t7": exp_cluster.run,
         "r-f1": exp_compute.run,
         "r-f2": exp_fileio.run,
         "r-f3": exp_webserver.run,
@@ -66,6 +71,8 @@ DESCRIPTIONS = {
     "r-t4": "security evaluation (attack outcome matrix)",
     "r-t5": "fault-injection recovery matrix (extension)",
     "r-t6": "differential fuzzing campaign over generated guests (extension)",
+    "r-t7": "cluster serving: open-loop capacity scaling + tail overhead "
+            "(extension)",
     "r-f1": "compute workloads, normalized runtime",
     "r-f2": "file-I/O bandwidth vs buffer size",
     "r-f3": "web-server throughput vs concurrency",
@@ -197,6 +204,11 @@ def main(argv=None) -> int:
 
     if args and args[0].lower() == "fuzz":
         return _fuzz_main(args[1:])
+
+    if args and args[0].lower() == "serve":
+        from repro.bench.exp_cluster import serve_main
+
+        return serve_main(args[1:])
 
     if args and args[0].lower() == "wallclock":
         from repro.bench import wallclock

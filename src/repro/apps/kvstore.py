@@ -71,6 +71,12 @@ class _Wire:
         return body
 
 
+#: Public name for the framed-message helpers: the open-loop load
+#: generator (repro.serve.loadgen) speaks the same wire protocol to
+#: multiplex many logical connections over the request FIFO.
+Wire = _Wire
+
+
 class KVStore(Program):
     """The server+client pair in one identity.
 
@@ -114,8 +120,13 @@ class KVStore(Program):
         yield ctx.write(log_fd, buf, len(line) + 1)
 
     def server(self, ctx: UserContext, max_requests: int):
+        """Serve ``max_requests`` then stop.  A non-positive count
+        means "serve until QUIT" — the open-loop load generator's
+        mode, where the arrival schedule decides how many requests
+        each shard receives (re-routed traffic included)."""
         table: Dict[bytes, bytes] = {}
         replayed = yield from self._recover(ctx, table)
+        run_until_quit = max_requests <= 0
 
         log_fd = yield from ctx.open_path(
             LOG_PATH, uapi.O_CREAT | uapi.O_WRONLY | uapi.O_APPEND
@@ -126,7 +137,7 @@ class KVStore(Program):
         log_buf = ctx.scratch(1024)
 
         served = 0
-        while served < max_requests:
+        while run_until_quit or served < max_requests:
             request = yield from _Wire.recv(ctx, req_fd, wire_buf)
             if request is None:
                 break

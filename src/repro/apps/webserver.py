@@ -24,6 +24,13 @@ RESPONSE_HEADER = struct.Struct("<II")
 
 REQUEST_FIFO = "/srv/req"
 
+#: Connection-id sentinel: a request record carrying this cid asks the
+#: server to shut down.  Open-loop load generators (repro.serve) run
+#: the server with ``total <= 0`` ("serve until told to stop") and
+#: send this after the last scheduled arrival, so the request count
+#: does not have to be known when the server starts.
+SHUTDOWN_CID = 0xFFFFFFFF
+
 
 def response_fifo(cid: int) -> str:
     return f"/srv/rsp{cid}"
@@ -37,6 +44,11 @@ def pack_request(cid: int, path: str) -> bytes:
     return record.ljust(REQUEST_SIZE, b"\x00")
 
 
+def pack_shutdown() -> bytes:
+    """The shutdown-sentinel request record (see :data:`SHUTDOWN_CID`)."""
+    return pack_request(SHUTDOWN_CID, "")
+
+
 def unpack_request(record: bytes):
     cid, path_len = struct.unpack_from("<IH", record)
     path = record[6 : 6 + path_len].decode()
@@ -46,7 +58,11 @@ def unpack_request(record: bytes):
 class WebServer(Program):
     """Serves ``total_requests`` then exits.
 
-    argv: (total_requests,)
+    argv: (total_requests,).  A non-positive total means "serve until
+    a shutdown-sentinel request arrives" (:data:`SHUTDOWN_CID`) — the
+    connection-multiplexing mode the open-loop load generator uses,
+    where the number of requests is decided by the arrival schedule,
+    not the server.
     """
 
     name = "webserver"
@@ -62,6 +78,7 @@ class WebServer(Program):
 
     def main(self, ctx: UserContext):
         total = int(ctx.argv[0]) if ctx.argv else 8
+        run_until_shutdown = total <= 0
         req_fd = yield from ctx.open_path(REQUEST_FIFO, uapi.O_RDONLY)
         if req_fd < 0:
             yield from ctx.print(f"server: no request fifo ({req_fd})\n")
@@ -74,7 +91,7 @@ class WebServer(Program):
         response_fds = {}
 
         spins = 0
-        while served < total:
+        while run_until_shutdown or served < total:
             got = yield from self._read_exact(ctx, req_fd, record_buf,
                                               REQUEST_SIZE)
             if got < REQUEST_SIZE:
@@ -88,6 +105,8 @@ class WebServer(Program):
                 continue
             record = yield ctx.load(record_buf, REQUEST_SIZE)
             cid, path = unpack_request(record)
+            if cid == SHUTDOWN_CID:
+                break
 
             rsp_fd = response_fds.get(cid)
             if rsp_fd is None:

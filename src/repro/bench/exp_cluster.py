@@ -1,0 +1,193 @@
+"""R-T7: cluster serving — capacity scaling and tail-latency overhead.
+
+The paper's performance story is told per machine; this experiment
+asks the production question: when the protected webserver is sharded
+across N machines behind a consistent-hash ring and driven by an
+**open-loop** arrival schedule (:mod:`repro.serve`), how does capacity
+per shard scale with N, and what does cloaking cost *at the tail*
+(p95/p99), where queueing amplifies per-request overhead?
+
+Expected shape: capacity per shard stays roughly flat in N (shards are
+independent machines; the ring splits the key population, so each
+shard sees ~1/N of the offered load), and the cloaked/native ratio
+grows toward the tail — the constant-factor service-time overhead
+shifts the whole queueing curve, so p99 pays more than p50.
+
+Also the home of ``python -m repro serve`` (:func:`serve_main`), the
+CLI over :func:`repro.serve.cluster.run_cluster`.
+"""
+
+import sys
+from dataclasses import replace
+from typing import Dict, List
+
+from repro.bench.tables import Series, Table
+from repro.serve.cluster import ClusterConfig, report_json, run_cluster
+from repro.serve.loadgen import APPS, ARRIVALS, LoadSpec
+
+SHARD_COUNTS = (1, 2, 4)
+#: Shard count at which the tail-latency table is reported.
+TAIL_SHARDS = 4
+
+#: Offered load scales with the cluster: ``requests`` grows and the
+#: mean inter-arrival gap shrinks linearly in N, so every shard sees
+#: the same offered rate at every cluster size — the scaling question
+#: is then "does capacity per shard stay flat", not "what happens when
+#: a fixed trickle is split N ways".
+REQUESTS_PER_SHARD = 16
+BASE_MEAN_GAP = 15_000
+
+SPEC = LoadSpec(
+    app="webserver",
+    arrival="poisson",
+    connections=4,
+    deadline=240_000,
+    keys=64,
+    file_size=2048,
+    seed=11,
+)
+
+
+def _cluster(shards: int, cloaked: bool) -> Dict:
+    spec = replace(SPEC, requests=REQUESTS_PER_SHARD * shards,
+                   mean_gap=max(1, BASE_MEAN_GAP // shards))
+    # Inline mode: the multiprocess path is byte-identical by
+    # construction (tests/serve pins it), so the benchmark takes the
+    # cheap deterministic route.
+    return run_cluster(ClusterConfig(spec=spec, shards=shards,
+                                     cloaked=cloaked, inline=True,
+                                     attach_metrics=False))
+
+
+def run(verbose: bool = True) -> Dict:
+    reports: Dict[str, Dict] = {}
+    scaling = Series(
+        "R-T7: cluster capacity per shard vs shard count "
+        "(requests / Mcycle / shard, open-loop)",
+        "shards",
+        ["native", "cloaked", "ratio"],
+    )
+    for shards in SHARD_COUNTS:
+        native = _cluster(shards, cloaked=False)
+        cloaked = _cluster(shards, cloaked=True)
+        reports[f"native:{shards}"] = native
+        reports[f"cloaked:{shards}"] = cloaked
+        cap_n = native["cluster"]["capacity_per_shard"]
+        cap_c = cloaked["cluster"]["capacity_per_shard"]
+        scaling.add_point(shards, cap_n, cap_c,
+                          round(cap_n / cap_c, 3) if cap_c else 0.0)
+
+    tail = Table(
+        f"R-T7: cloaking overhead per latency percentile "
+        f"({TAIL_SHARDS} shards, cycles)",
+        ["percentile", "native", "cloaked", "ratio"],
+    )
+    lat_n = reports[f"native:{TAIL_SHARDS}"]["cluster"]["latency"]
+    lat_c = reports[f"cloaked:{TAIL_SHARDS}"]["cluster"]["latency"]
+    for quantile in ("p50", "p95", "p99", "p999"):
+        ratio = (round(lat_c[quantile] / lat_n[quantile], 3)
+                 if lat_n[quantile] else 0.0)
+        tail.add_row(quantile, lat_n[quantile], lat_c[quantile], ratio)
+
+    if verbose:
+        scaling.show()
+        tail.show()
+        print("coordinated-omission note: latencies are measured from "
+              "each request's *intended* arrival (open loop), so "
+              "queueing behind a slow shard is in the percentiles — "
+              "closed-loop numbers (R-F3) cannot show this.")
+    return {"scaling": scaling, "tail": tail, "reports": reports}
+
+
+# ---------------------------------------------------------------------------
+# ``python -m repro serve``
+# ---------------------------------------------------------------------------
+
+_USAGE = """\
+usage: python -m repro serve [options]
+
+Run one open-loop cluster serving experiment and print the merged
+deterministic report as JSON (byte-identical across --inline and
+multiprocess runs, worker counts, and hosts).
+
+options:
+  --shards N        shard count (default 4)
+  --app NAME        webserver | kvstore (default webserver)
+  --cloaked         run the protected server under the VMM shim
+  --requests N      scheduled arrivals (default 64)
+  --mean-gap N      mean inter-arrival gap, cycles (default 12000)
+  --arrival KIND    poisson | bursty | uniform (default poisson)
+  --connections N   multiplexed logical connections (default 4)
+  --deadline N      per-request SLO deadline, cycles (default 240000)
+  --seed N          schedule seed (default 0)
+  --workers N       max concurrent worker processes (default: shards)
+  --inline          run every shard in-process (no forking)
+  --kill LIST       comma-separated shards whose workers die mid-run
+  --no-metrics      skip the merged repro.obs metrics section
+  --out PATH        also write the report JSON to PATH
+  --summary         print a short human summary instead of the JSON
+"""
+
+
+def _flag_value(args: List[str], name: str, default=None):
+    if name in args:
+        return args[args.index(name) + 1]
+    return default
+
+
+def serve_main(args: List[str]) -> int:
+    if "--help" in args or "-h" in args:
+        print(_USAGE)
+        return 0
+    app = _flag_value(args, "--app", "webserver")
+    arrival = _flag_value(args, "--arrival", "poisson")
+    if app not in APPS or arrival not in ARRIVALS:
+        print(_USAGE, file=sys.stderr)
+        return 2
+    kill_arg = _flag_value(args, "--kill", "")
+    kill = tuple(int(s) for s in kill_arg.split(",") if s.strip())
+    config = ClusterConfig(
+        spec=LoadSpec(
+            app=app,
+            requests=int(_flag_value(args, "--requests", 64)),
+            mean_gap=int(_flag_value(args, "--mean-gap", 12_000)),
+            arrival=arrival,
+            connections=int(_flag_value(args, "--connections", 4)),
+            deadline=int(_flag_value(args, "--deadline", 240_000)),
+            seed=int(_flag_value(args, "--seed", 0)),
+        ),
+        shards=int(_flag_value(args, "--shards", 4)),
+        cloaked="--cloaked" in args,
+        workers=int(_flag_value(args, "--workers", 0)),
+        inline="--inline" in args,
+        kill_shards=kill,
+        attach_metrics="--no-metrics" not in args,
+    )
+    report = run_cluster(config)
+    rendered = report_json(report)
+    out = _flag_value(args, "--out")
+    if out is not None:
+        with open(out, "w") as sink:
+            sink.write(rendered)
+        print(f"report written: {out}", file=sys.stderr)
+    if "--summary" in args:
+        cluster = report["cluster"]
+        print(f"serve: {config.spec.app} shards={config.shards} "
+              f"cloaked={config.cloaked} arrival={config.spec.arrival}")
+        print(f"  completed {cluster['completed']}/{cluster['requests']} "
+              f"errors {cluster['errors']} slo_misses "
+              f"{cluster['slo_misses']}")
+        print(f"  latency p50/p95/p99: {cluster['latency']['p50']} / "
+              f"{cluster['latency']['p95']} / {cluster['latency']['p99']}")
+        print(f"  capacity/shard: {cluster['capacity_per_shard']} "
+              f"req/Mcycle")
+        if report["degraded"]:
+            print(f"  DEGRADED: dead shards {report['dead_shards']}, "
+                  f"{report['rerouted_requests']} requests re-routed")
+    else:
+        sys.stdout.write(rendered)
+    return 0
+
+
+if __name__ == "__main__":
+    run()

@@ -61,6 +61,7 @@ from contextlib import contextmanager
 from typing import Any, Dict, FrozenSet, List, Optional
 
 from repro.hw.phys import BaseFrames, PhysicalMemory
+from repro.hw.sync import VLock
 from repro.obs import bus
 
 #: Bump on any change to what a snapshot carries.
@@ -393,6 +394,53 @@ def _check_quiescent(machine) -> None:
 
 
 # ---------------------------------------------------------------------------
+# cross-process publication (fork inheritance)
+# ---------------------------------------------------------------------------
+
+#: Snapshots published for fork-context workers, by caller-chosen key.
+_published: Dict[str, SnapshotState] = {}
+
+_published_lock = VLock("snapshot.published")
+
+GUARDED_BY = {
+    "_published": "_published_lock",
+}
+
+
+def publish(key: str, snapshot: SnapshotState) -> None:
+    """Make ``snapshot`` available to forked worker processes.
+
+    A :class:`SnapshotState` cannot cross a pickling process boundary
+    (the kernel registry's runtime factories are closures), but it
+    *can* ride POSIX fork inheritance: a parent that captures and
+    publishes before forking hands every ``multiprocessing`` "fork"
+    worker a copy-on-write view of this registry for free.  The
+    cluster harness (:mod:`repro.serve.cluster`) publishes one boot
+    snapshot per (app, cloaked) pair, forks its shard workers, and
+    each worker restores from the inherited snapshot — one boot,
+    N machines, zero serialization.
+
+    Re-publishing a key replaces the previous snapshot (parents reuse
+    keys across runs).
+    """
+    with _published_lock:
+        _published[key] = snapshot
+
+
+def published(key: str) -> Optional[SnapshotState]:
+    """The snapshot published under ``key``, if any (parent or
+    fork-inherited)."""
+    with _published_lock:
+        return _published.get(key)
+
+
+def clear_published() -> None:
+    """Drop every published snapshot (test teardown / memory hygiene)."""
+    with _published_lock:
+        _published.clear()
+
+
+# ---------------------------------------------------------------------------
 # SMP-inventory cross-check
 # ---------------------------------------------------------------------------
 
@@ -410,6 +458,12 @@ SNAPSHOT_DISPOSITIONS: Dict[str, str] = {
     "repro.core.crypto:_derive_memo": "shared",
     "repro.core.crypto:_keystream_memo": "shared",
     "repro.core.crypto:_principal_memo": "shared",
+    # The publication registry for fork-context workers: deliberately
+    # module-scope (fork inheritance is the only way a SnapshotState
+    # crosses a process boundary), lock-guarded, and holding only
+    # immutable-from-the-caller's-view SnapshotStates — restores from
+    # a published snapshot share nothing mutable with each other.
+    "repro.hw.snapshot:_published": "shared",
     # Interior aliasing of mutable records: both references live
     # inside one machine's object graph, so deepcopy's memo keeps the
     # aliasing *within* each restored clone.

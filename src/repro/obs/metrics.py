@@ -15,7 +15,7 @@ wall-clock anywhere — two identical runs serialize byte-identically.
 """
 
 import json
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from repro.obs import bus
 
@@ -145,3 +145,62 @@ class MetricsRegistry:
                 lines.append(f"  domain {domain:<4} events {entry['events']:>8}"
                              f"  cycles {entry['cycles']:>12}")
         return "\n".join(lines)
+
+
+def merge_snapshots(snaps: List[Dict]) -> Dict:
+    """Fold per-machine :meth:`MetricsRegistry.snapshot` dicts into one.
+
+    Counters, component/domain totals, and histogram buckets sum;
+    ``span`` widens to cover every input (each machine keeps its own
+    virtual clock, so the merged span is a bound, not a timeline).
+    The result is **order-independent** — integer sums commute — which
+    is what lets a multi-process cluster harvest worker snapshots in
+    completion order and still emit a deterministic merged report.
+    """
+    probes: Dict[str, int] = {}
+    components: Dict[str, Dict] = {}
+    domains: Dict[str, Dict[str, int]] = {}
+    first, last = -1, -1
+    for snap in snaps:
+        if snap.get("schema") != 1:
+            raise ValueError(f"unknown metrics schema {snap.get('schema')!r}")
+        for name, count in snap["probes"].items():
+            probes[name] = probes.get(name, 0) + count
+        for component, entry in snap["components"].items():
+            merged = components.setdefault(
+                component, {"events": 0, "cycles": 0})
+            merged["events"] += entry["events"]
+            merged["cycles"] += entry["cycles"]
+            hist = entry.get("cost_histogram")
+            if hist:
+                out = merged.setdefault("cost_histogram", {})
+                for bucket, count in hist.items():
+                    out[bucket] = out.get(bucket, 0) + count
+        for domain, entry in snap["domains"].items():
+            merged = domains.setdefault(domain, {"events": 0, "cycles": 0})
+            merged["events"] += entry["events"]
+            merged["cycles"] += entry["cycles"]
+        span_first, span_last = snap["span"]
+        if span_first >= 0 and (first < 0 or span_first < first):
+            first = span_first
+        if span_last > last:
+            last = span_last
+    for entry in components.values():
+        hist = entry.get("cost_histogram")
+        if hist:
+            # Keep buckets in numeric order ("<8" before "<16").
+            entry["cost_histogram"] = {
+                key: hist[key]
+                for key in sorted(hist, key=lambda k: int(k[1:]))
+            }
+    return {
+        "schema": 1,
+        "clock": "virtual-cycles",
+        "merged_from": len(snaps),
+        "span": [first, last],
+        "total_events": sum(probes.values()),
+        "probes": {name: probes[name] for name in sorted(probes)},
+        "components": {name: components[name]
+                       for name in sorted(components)},
+        "domains": {name: domains[name] for name in sorted(domains)},
+    }

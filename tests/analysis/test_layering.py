@@ -58,6 +58,36 @@ def test_guestos_importing_apps_is_flagged(tree):
     assert len(check(RULE, mod)) == 1
 
 
+def test_serve_importing_core_is_flagged(tree):
+    mod = tree.module("repro/serve/cheat.py", """\
+        from repro.core.cloak import CloakState
+        """)
+    findings = check(RULE, mod)
+    assert len(findings) == 1
+    assert findings[0].rule == "API001"
+    assert "repro.serve" in findings[0].message
+
+
+def test_serve_importing_guestos_internals_is_flagged(tree):
+    mod = tree.module("repro/serve/peek.py", """\
+        from repro.guestos.kernel import Kernel
+        """)
+    assert len(check(RULE, mod)) == 1
+
+
+def test_serve_allowed_imports_are_clean(tree):
+    mod = tree.module("repro/serve/fine.py", """\
+        from repro.apps.webserver import WebServer
+        from repro.machine import Machine
+        from repro.obs.metrics import MetricsRegistry
+        from repro.hw.snapshot import publish, published
+        from repro.guestos.uapi import O_RDONLY
+        from repro.serve.ring import HashRing
+        import hashlib
+        """)
+    assert check(RULE, mod) == []
+
+
 def test_multi_name_import_yields_one_finding(tree):
     mod = tree.module("repro/hw/multi.py", """\
         from repro.guestos.kernel import Kernel, KernelConfig, Thread

@@ -1,0 +1,147 @@
+"""Determinism and accounting tests for the open-loop load generator."""
+
+import json
+
+import pytest
+
+from repro.serve.loadgen import (
+    LoadSpec,
+    build_schedule,
+    cycle_hash,
+    percentile,
+    run_open_loop,
+)
+
+#: Small but non-trivial: enough arrivals for queueing, fast enough
+#: for the unit suite.
+WEB_SPEC = LoadSpec(app="webserver", requests=12, mean_gap=9_000,
+                    connections=3, keys=4, file_size=512, seed=5)
+KV_SPEC = LoadSpec(app="kvstore", requests=10, mean_gap=9_000,
+                   connections=2, keys=4, put_pct=40, value_size=24,
+                   seed=5)
+
+
+# ---------------------------------------------------------------------------
+# the schedule is a pure function of the spec
+# ---------------------------------------------------------------------------
+
+def test_schedule_is_pure():
+    assert build_schedule(WEB_SPEC) == build_schedule(WEB_SPEC)
+    assert build_schedule(KV_SPEC) == build_schedule(KV_SPEC)
+
+
+def test_schedule_seed_sensitivity():
+    from dataclasses import replace
+    other = build_schedule(replace(WEB_SPEC, seed=WEB_SPEC.seed + 1))
+    assert other != build_schedule(WEB_SPEC)
+
+
+def test_schedule_shape():
+    for spec in (WEB_SPEC, KV_SPEC,
+                 LoadSpec(arrival="bursty", requests=20),
+                 LoadSpec(arrival="uniform", requests=20)):
+        rows = build_schedule(spec)
+        assert len(rows) == spec.requests
+        arrivals = [row[0] for row in rows]
+        assert arrivals == sorted(arrivals)
+        assert all(a > 0 for a in arrivals)
+        for index, (_, conn, op, key) in enumerate(rows):
+            assert conn == index % spec.connections
+            assert key.startswith("k")
+            if spec.app == "webserver":
+                assert op == "GET"
+            else:
+                assert op in ("GET", "PUT")
+
+
+def test_uniform_arrivals_are_evenly_spaced():
+    rows = build_schedule(LoadSpec(arrival="uniform", requests=6,
+                                   mean_gap=5_000))
+    arrivals = [row[0] for row in rows]
+    gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+    assert gaps == [5_000] * 5
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        LoadSpec(app="ftp").validate()
+    with pytest.raises(ValueError):
+        LoadSpec(arrival="stampede").validate()
+    with pytest.raises(ValueError):
+        LoadSpec(requests=0).validate()
+    with pytest.raises(ValueError):
+        LoadSpec(mean_gap=0).validate()
+
+
+# ---------------------------------------------------------------------------
+# percentile + cycle-hash helpers
+# ---------------------------------------------------------------------------
+
+def test_percentile_nearest_rank():
+    vals = sorted(range(1, 101))
+    assert percentile(vals, 50) == 50
+    assert percentile(vals, 95) == 95
+    assert percentile(vals, 99.9) == 100
+    assert percentile([7], 99) == 7
+    assert percentile([], 50) == 0
+
+
+def test_cycle_hash_stability():
+    a = cycle_hash(123, {"guest": 100, "vmm": 23})
+    b = cycle_hash(123, {"vmm": 23, "guest": 100})
+    assert a == b and len(a) == 16
+    assert cycle_hash(124, {"guest": 100, "vmm": 23}) != a
+
+
+# ---------------------------------------------------------------------------
+# end-to-end open-loop runs
+# ---------------------------------------------------------------------------
+
+def _strip_metrics(result):
+    return {k: v for k, v in result.items() if k != "metrics"}
+
+
+def test_webserver_open_loop_completes_native_and_cloaked():
+    for cloaked in (False, True):
+        result = run_open_loop(WEB_SPEC, cloaked=cloaked)
+        assert result["completed"] == WEB_SPEC.requests
+        assert result["errors"] == 0
+        assert result["violations"] == 0
+        assert result["server_exit"] == 0
+        assert result["latencies"] == sorted(result["latencies"])
+        assert result["latency"]["p50"] <= result["latency"]["p95"] \
+            <= result["latency"]["p99"] <= result["latency"]["max"]
+        assert result["achieved_per_mcycle"] > 0
+
+
+def test_kvstore_open_loop_completes_native_and_cloaked():
+    for cloaked in (False, True):
+        result = run_open_loop(KV_SPEC, cloaked=cloaked)
+        assert result["completed"] == KV_SPEC.requests
+        assert result["errors"] == 0
+        assert result["violations"] == 0
+
+
+def test_open_loop_result_is_byte_deterministic():
+    first = run_open_loop(WEB_SPEC)
+    second = run_open_loop(WEB_SPEC)
+    assert json.dumps(first, sort_keys=True) \
+        == json.dumps(second, sort_keys=True)
+    assert first["cycle_hash"] == second["cycle_hash"]
+
+
+def test_cloaking_costs_cycles_at_the_tail():
+    native = run_open_loop(WEB_SPEC)
+    cloaked = run_open_loop(WEB_SPEC, cloaked=True)
+    assert cloaked["cycles"] > native["cycles"]
+    assert cloaked["latency"]["p95"] >= native["latency"]["p95"]
+
+
+def test_metrics_snapshot_rides_along():
+    result = run_open_loop(WEB_SPEC, attach_metrics=True)
+    snap = result["metrics"]
+    assert snap["schema"] == 1
+    assert snap["total_events"] > 0
+    # The metrics sink observes but never perturbs the run.
+    bare = run_open_loop(WEB_SPEC)
+    assert _strip_metrics(result) == bare

